@@ -1,0 +1,59 @@
+"""Shared benchmark configuration and helpers.
+
+Scale: by default the paper's 578/3000-image workloads run at 1/10 scale
+(58/300 images) so the whole suite finishes in minutes; set
+``REPRO_FULL=1`` to reproduce at full scale.  Every bench prints the
+regenerated table/figure and writes it under ``benchmarks/results/``.
+
+Absolute times come from a calibrated model, so the assertions check the
+*shape* claims of the paper (balance, linearity, ratios, ordering, exact
+counts); EXPERIMENTS.md records paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.mjpeg import generate_stream
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: Paper workloads and the default scaled-down equivalents.
+N_SMALL = 578 if FULL_SCALE else 58
+N_LARGE = 3000 if FULL_SCALE else 300
+SCALE = 1.0 if FULL_SCALE else 10.0
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+_STREAMS = {}
+
+
+def cached_stream(n_images: int, quality: int = 75, seed: int = 0):
+    """Streams are expensive to encode; share them across benches."""
+    key = (n_images, quality, seed)
+    if key not in _STREAMS:
+        _STREAMS[key] = generate_stream(n_images, 96, 96, quality=quality, seed=seed)
+    return _STREAMS[key]
+
+
+@pytest.fixture(scope="session")
+def small_stream():
+    """The '578-image' workload (scaled unless REPRO_FULL=1)."""
+    return cached_stream(N_SMALL)
+
+
+@pytest.fixture(scope="session")
+def large_stream():
+    """The '3000-image' workload (scaled unless REPRO_FULL=1)."""
+    return cached_stream(N_LARGE)

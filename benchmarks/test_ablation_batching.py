@@ -1,0 +1,82 @@
+"""Ablation A3 -- message-count vs message-size trade-off.
+
+Paper section 5.4: "we can force the Fetch-Dispatch component to send
+different number of messages, according to the message size, in order to
+balance the EMBera send execution time between the components."
+
+We sweep the Fetch partitioning (batches per image) on the STi7200 model
+and report, per configuration, the total send time spent by the
+Fetch-Reorder component (on the slow ST40) and the pipeline makespan.
+Fewer, larger messages amortize the fixed per-message cost until the
+50 kB bounce knee reverses the gain -- the non-monotonicity the paper's
+suggestion exploits.
+"""
+
+import numpy as np
+
+from repro.core import MIDDLEWARE_LEVEL, OS_LEVEL
+from repro.metrics import Table
+from repro.mjpeg.components import build_sti7200_assembly
+from repro.mjpeg.stream import generate_stream
+from repro.runtime import Sti7200SimRuntime
+
+from benchmarks.conftest import save_result
+
+N_IMAGES = 10
+#: 48x48 blocks per frame = 576 blocks; sweep the partitioning widely.
+BATCH_SWEEP = (2, 6, 18, 72)
+
+
+def run_config(stream, batches_per_image):
+    app = build_sti7200_assembly(stream, use_stored_coefficients=True)
+    fr = app.components["Fetch-Reorder"]
+    fr.batches_per_image = batches_per_image
+    for i in (1, 2):
+        app.components[f"IDCT_{i}"].place(object_bytes=512 * 1024)
+    fr.place(object_bytes=512 * 1024)
+    rt = Sti7200SimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    send = reports[("Fetch-Reorder", MIDDLEWARE_LEVEL)]["send"]
+    return {
+        "makespan_ms": rt.makespan_ns / 1e6,
+        "sends": send["count"],
+        "send_total_ms": send["total_ns"] / 1e6,
+        "send_mean_us": send["mean_ns"] / 1e3,
+        "fr_task_s": reports[("Fetch-Reorder", OS_LEVEL)]["exec_time_us"] / 1e6,
+    }
+
+
+def run_sweep():
+    # Larger frames (192x192 -> 576 blocks) make the batching axis wide:
+    # 2 batches/image -> ~290 kB messages (over the knee), 72 -> ~8 kB.
+    stream = generate_stream(N_IMAGES, 192, 192, quality=75, seed=3)
+    return {b: run_config(stream, b) for b in BATCH_SWEEP}
+
+
+def test_batching_tradeoff(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        ["Batches/image", "Msgs sent", "Mean send (us)", "Total FR send (ms)", "Makespan (ms)"],
+        title="Ablation A3: Fetch partitioning on STi7200 (message count vs size)",
+    )
+    for b, r in results.items():
+        table.add_row(
+            [b, r["sends"], round(r["send_mean_us"], 1), round(r["send_total_ms"], 1),
+             round(r["makespan_ms"], 1)]
+        )
+    save_result("ablation_batching", table.render())
+
+    # more batches -> more, smaller messages
+    sends = [results[b]["sends"] for b in BATCH_SWEEP]
+    assert sends == sorted(sends)
+    means = [results[b]["send_mean_us"] for b in BATCH_SWEEP]
+    assert means == sorted(means, reverse=True)
+
+    # the knee makes total send cost non-monotone: the coarsest batching
+    # (messages far beyond 50 kB) pays the bounce penalty, so some finer
+    # partitioning beats it -- the paper's tuning opportunity.
+    total = {b: results[b]["send_total_ms"] for b in BATCH_SWEEP}
+    assert min(total[6], total[18]) < total[2], total

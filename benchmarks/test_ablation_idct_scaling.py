@@ -1,0 +1,64 @@
+"""Ablation A5 -- IDCT parallelism and the predicted bottleneck shift.
+
+Paper section 4.4: "the execution times indicate that the application is
+well load-balanced for the JPEG input size but if that size changes, the
+execution times could cause a bottleneck on the IDCT components."
+
+We sweep the number of IDCT components (1..5) and report, from the
+observation data alone (via :mod:`repro.metrics.analysis`), the
+bottleneck stage, the imbalance factor and the pipeline makespan: with
+fewer than 3 IDCTs the IDCT stage bottlenecks; with 3 the pipeline is
+balanced (the paper's design point); beyond 3 the extra components idle.
+"""
+
+from repro.metrics import Table
+from repro.metrics.analysis import load_balance
+from repro.mjpeg.components import build_smp_assembly
+from repro.runtime import SmpSimRuntime
+
+from benchmarks.conftest import cached_stream, save_result
+
+N_IMAGES = 24
+SWEEP = (1, 2, 3, 4, 5)
+
+
+def run_with(n_idct, stream):
+    app = build_smp_assembly(stream, n_idct=n_idct, use_stored_coefficients=True)
+    rt = SmpSimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    balance = load_balance(reports)
+    return {
+        "bottleneck": balance.bottleneck,
+        "imbalance": balance.imbalance,
+        "makespan_ms": rt.makespan_ns / 1e6,
+    }
+
+
+def run_sweep():
+    stream = cached_stream(N_IMAGES)
+    return {n: run_with(n, stream) for n in SWEEP}
+
+
+def test_idct_scaling(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        ["IDCT components", "Bottleneck", "Imbalance", "Makespan (ms)"],
+        title=f"Ablation A5: IDCT parallelism ({N_IMAGES} images, SMP sim)",
+    )
+    for n, r in results.items():
+        table.add_row([n, r["bottleneck"], round(r["imbalance"], 2), round(r["makespan_ms"], 1)])
+    save_result("ablation_idct_scaling", table.render())
+
+    # 1-2 IDCTs: the IDCT stage is the bottleneck the paper predicts
+    assert results[1]["bottleneck"].startswith("IDCT")
+    assert results[2]["bottleneck"].startswith("IDCT")
+    assert results[1]["imbalance"] > 1.5
+    # 3 IDCTs: the paper's design point is balanced
+    assert results[3]["imbalance"] < 1.25
+    # adding IDCTs keeps shrinking the makespan until balance, then stops
+    assert results[1]["makespan_ms"] > results[2]["makespan_ms"] > results[3]["makespan_ms"]
+    gain_past_3 = results[3]["makespan_ms"] / results[5]["makespan_ms"]
+    assert gain_past_3 < 1.15, gain_past_3

@@ -1,0 +1,75 @@
+"""Ablation A4 -- NUMA placement sensitivity on the 16-core SMP.
+
+The paper describes the platform's NUMA organisation (section 4) but
+pins nothing; this ablation shows why placement matters for the Figure 4
+curve: the same send pays 1 + 0.2/hop per byte across the 3-cube, so the
+worst placement (3 hops) costs ~60% more than node-local communication.
+"""
+
+from repro.core import Application, CONTROL, MIDDLEWARE_LEVEL
+from repro.metrics import Table
+from repro.runtime import SmpSimRuntime
+
+from benchmarks.conftest import save_result
+
+MESSAGE_KB = 100
+N_MESSAGES = 30
+#: (sender core, receiver core) -> hop distance on the 3-cube of nodes.
+PLACEMENTS = {
+    "same node (0 hops)": (0, 1),
+    "neighbour node (1 hop)": (0, 2),
+    "2 hops": (0, 6),
+    "opposite corner (3 hops)": (0, 14),
+}
+
+
+def app_for(sender_core, receiver_core):
+    app = Application(f"numa-{sender_core}-{receiver_core}")
+
+    def sender(ctx):
+        payload = bytes(MESSAGE_KB * 1024)
+        for _ in range(N_MESSAGES):
+            yield from ctx.send("out", payload)
+        yield from ctx.send("out", None, kind=CONTROL, tag="eos")
+
+    def receiver(ctx):
+        while True:
+            msg = yield from ctx.receive("in")
+            if msg.kind == CONTROL:
+                return
+
+    app.create("sender", behavior=sender, requires=["out"], core=sender_core)
+    app.create("receiver", behavior=receiver, provides=["in"], core=receiver_core)
+    app.connect("sender", "out", "receiver", "in")
+    app.attach_observer(targets=["sender"])
+    return app
+
+
+def run_sweep():
+    out = {}
+    for label, (s, r) in PLACEMENTS.items():
+        rt = SmpSimRuntime()
+        rt.run(app_for(s, r))
+        reports = rt.collect(plan=[("sender", MIDDLEWARE_LEVEL)])
+        rt.stop()
+        out[label] = reports[("sender", MIDDLEWARE_LEVEL)]["send"]["mean_ns"] / 1e3
+    return out
+
+
+def test_numa_placement(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        ["Placement", f"send {MESSAGE_KB}kB (us)"],
+        title="Ablation A4: NUMA distance vs send time (16-core SMP sim)",
+    )
+    for label, us in results.items():
+        table.add_row([label, round(us, 1)])
+    save_result("ablation_numa_placement", table.render())
+
+    local = results["same node (0 hops)"]
+    one = results["neighbour node (1 hop)"]
+    three = results["opposite corner (3 hops)"]
+    assert local < one < three
+    # affine hop model: 3 hops ~ 1.6x local
+    assert 1.45 < three / local < 1.75, three / local

@@ -1,0 +1,96 @@
+"""Ablation A6 -- time-slice length under oversubscription.
+
+The paper deploys 5 components on 16 cores, so its Linux scheduler never
+has to time-share.  Future MPSoC "will integrate dozens and even
+hundreds of computing cores" (section 1) -- and, symmetrically,
+applications with more components than cores.  This ablation
+oversubscribes the SMP model (24 components on 4 cores) and sweeps the
+scheduler quantum: long quanta approach run-to-completion (low switch
+overhead-free makespan variance, high per-component latency variance);
+short quanta equalise progress at the cost of many context switches.
+"""
+
+from repro.core import Application
+from repro.hw import CpuModel, MemoryRegion, Platform
+from repro.metrics import Table
+from repro.runtime import SmpSimRuntime
+
+from benchmarks.conftest import save_result
+
+N_COMPONENTS = 24
+N_CORES = 4
+WORK_NS = 3_000_000
+QUANTA_NS = (100_000, 1_000_000, 10_000_000, 100_000_000)
+
+
+def small_platform():
+    cores = [CpuModel(f"c{i}", 1e9, {"syscall": 1000}) for i in range(N_CORES)]
+    return Platform(
+        "smp4",
+        cores=cores,
+        core_nodes=[0] * N_CORES,
+        regions={"node0": MemoryRegion("node0", 1 << 32, node=0)},
+    )
+
+
+def run_with_quantum(quantum_ns):
+    app = Application(f"oversub-{quantum_ns}")
+    for i in range(N_COMPONENTS):
+        def body(ctx, n=WORK_NS):
+            yield from ctx.compute("ns", n)
+
+        # all components share the core pool (no pinning)
+        comp = app.create(f"w{i}", behavior=body)
+        comp.placement["core"] = i % N_CORES
+    rt = SmpSimRuntime(platform=small_platform(), quantum_ns=quantum_ns)
+    rt.run(app)
+    finish_times = [
+        cont.handle.end_time_ns
+        for cont in rt.containers.values()
+        if cont.handle is not None
+    ]
+    switches = sum(
+        cont.handle.context_switches
+        for cont in rt.containers.values()
+        if cont.handle is not None
+    )
+    first = min(finish_times)
+    last = max(finish_times)
+    return {
+        "makespan_ms": rt.makespan_ns / 1e6,
+        "first_done_ms": first / 1e6,
+        "spread_ms": (last - first) / 1e6,
+        "switches": switches,
+    }
+
+
+def run_sweep():
+    return {q: run_with_quantum(q) for q in QUANTA_NS}
+
+
+def test_scheduler_quantum(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        ["Quantum (ms)", "Makespan (ms)", "First done (ms)", "Finish spread (ms)", "Switches"],
+        title=f"Ablation A6: {N_COMPONENTS} components on {N_CORES} cores (SMP sim)",
+    )
+    for q, r in results.items():
+        table.add_row(
+            [q / 1e6, round(r["makespan_ms"], 2), round(r["first_done_ms"], 2),
+             round(r["spread_ms"], 2), r["switches"]]
+        )
+    save_result("ablation_scheduler_quantum", table.render())
+
+    total_ms = N_COMPONENTS * WORK_NS / N_CORES / 1e6
+    for q, r in results.items():
+        # work conservation: the makespan never beats total work / cores
+        assert r["makespan_ms"] >= total_ms * 0.999, (q, r)
+    # short quanta: fair progress -> everyone finishes close together
+    assert results[100_000]["spread_ms"] <= 0.6
+    # long quanta: run-to-completion -> the first component finishes after
+    # ~its own work, far before the last
+    assert results[100_000_000]["first_done_ms"] < 2 * WORK_NS / 1e6
+    assert results[100_000_000]["spread_ms"] > results[100_000]["spread_ms"] * 5
+    # fairness costs context switches
+    assert results[100_000]["switches"] > 3 * results[100_000_000]["switches"]

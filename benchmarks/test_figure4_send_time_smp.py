@@ -1,0 +1,96 @@
+"""Figure 4 -- ``send`` execution time vs message size on the SMP.
+
+Paper: send time grows almost linearly from ~0 at tiny messages to
+~330 us at 125 kB ("the time of executing a send operation mainly
+depends on the size of the message on a SMP platform").
+
+We sweep the same axis, measure through the middleware observation level
+(exactly how the paper got the numbers) and check linearity by least
+squares: R^2 > 0.99 and an intercept that is negligible at 125 kB.
+"""
+
+import numpy as np
+
+from repro.core import Application, CONTROL, MIDDLEWARE_LEVEL
+from repro.metrics import Table
+from repro.runtime import SmpSimRuntime
+
+from benchmarks.conftest import save_result
+
+SIZES_KB = (1, 25, 50, 75, 100, 125)
+MESSAGES_PER_SIZE = 40
+PAPER_SLOPE_NS_PER_BYTE = 2.64  # ~330 us / 125 kB
+
+
+def send_sweep_app(size_bytes, n_messages):
+    app = Application(f"fig4-{size_bytes}")
+
+    def sender(ctx):
+        payload = bytes(size_bytes)
+        for _ in range(n_messages):
+            yield from ctx.send("out", payload)
+        yield from ctx.send("out", None, kind=CONTROL, tag="eos")
+
+    def receiver(ctx):
+        while True:
+            msg = yield from ctx.receive("in")
+            if msg.kind == CONTROL:
+                return
+
+    # Both components on node 0 (cores 0 and 1): the local-copy cost the
+    # paper's single-process measurement reflects.
+    app.create("sender", behavior=sender, requires=["out"], core=0)
+    app.create("receiver", behavior=receiver, provides=["in"], core=1)
+    app.connect("sender", "out", "receiver", "in")
+    app.attach_observer(targets=["sender"])
+    return app
+
+
+def mean_send_us(size_kb):
+    app = send_sweep_app(size_kb * 1024, MESSAGES_PER_SIZE)
+    rt = SmpSimRuntime()
+    rt.run(app)
+    reports = rt.collect(plan=[("sender", MIDDLEWARE_LEVEL)])
+    rt.stop()
+    return reports[("sender", MIDDLEWARE_LEVEL)]["send"]["mean_ns"] / 1_000
+
+
+def run_sweep():
+    return {kb: mean_send_us(kb) for kb in SIZES_KB}
+
+
+def test_figure4(benchmark):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        ["Message size (kB)", "send time (us)", "paper-model (us)"],
+        title="Figure 4: send primitive execution time vs message size (16-core SMP sim)",
+    )
+    for kb, us in series.items():
+        table.add_row([kb, round(us, 2), round(kb * 1024 * PAPER_SLOPE_NS_PER_BYTE / 1000, 1)])
+    from repro.metrics.asciichart import render_xy
+
+    chart = render_xy(
+        list(SIZES_KB),
+        {"measured": [series[kb] for kb in SIZES_KB]},
+        width=62,
+        height=14,
+        x_label="Message size (kB)",
+        y_label="Time (us)      Architecture: 16-core SMP",
+    )
+    save_result("figure4_send_time_smp", table.render() + "\n\n" + chart)
+
+    sizes = np.array([kb * 1024 for kb in SIZES_KB], dtype=float)
+    times = np.array([series[kb] * 1000 for kb in SIZES_KB])  # ns
+    slope, intercept = np.polyfit(sizes, times, 1)
+    fitted = slope * sizes + intercept
+    ss_res = float(((times - fitted) ** 2).sum())
+    ss_tot = float(((times - times.mean()) ** 2).sum())
+    r2 = 1 - ss_res / ss_tot
+    assert r2 > 0.99, f"send time is not linear in size (R^2={r2:.4f})"
+    # slope close to the paper's ~2.64 ns/byte
+    assert 0.7 * PAPER_SLOPE_NS_PER_BYTE < slope < 1.3 * PAPER_SLOPE_NS_PER_BYTE, slope
+    # fixed overhead is negligible at the top of the sweep
+    assert intercept < 0.1 * times[-1]
+    # endpoint lands near the paper's ~330 us at 125 kB
+    assert 250 < series[125] < 420

@@ -1,0 +1,56 @@
+"""Figure 5 -- interface listing of the IDCT_1 component.
+
+Paper output:
+
+    Interfaces component [IDCT_1]
+    ----------------------------
+    [Interface] [Type]
+    introspection provided
+    _fetchIdct1 provided
+    introspection required
+    idctReorder required
+
+Regenerated here through the application-level observation report of a
+*deployed* assembly (structure travels through the observation message
+path, not via direct object access).
+"""
+
+from repro.core import APPLICATION_LEVEL, format_interfaces
+from repro.mjpeg.components import build_smp_assembly
+from repro.runtime import SmpSimRuntime
+
+from benchmarks.conftest import cached_stream, save_result
+
+PAPER_LISTING = """Interfaces component [IDCT_1]
+----------------------------
+[Interface] [Type]
+introspection provided
+_fetchIdct1 provided
+introspection required
+idctReorder required"""
+
+
+def run_and_introspect():
+    stream = cached_stream(4)
+    app = build_smp_assembly(stream, use_stored_coefficients=True)
+    rt = SmpSimRuntime()
+    rt.run(app)
+    reports = rt.collect(plan=[("IDCT_1", APPLICATION_LEVEL)])
+    rt.stop()
+    structure = reports[("IDCT_1", APPLICATION_LEVEL)]["structure"]
+    listing = format_interfaces(app.components["IDCT_1"])
+    return structure, listing
+
+
+def test_figure5(benchmark):
+    structure, listing = benchmark.pedantic(run_and_introspect, rounds=1, iterations=1)
+    save_result("figure5_introspection", listing)
+
+    assert listing == PAPER_LISTING
+    # the observation-message path reports the same structure
+    assert structure == [
+        ("introspection", "provided"),
+        ("_fetchIdct1", "provided"),
+        ("introspection", "required"),
+        ("idctReorder", "required"),
+    ]

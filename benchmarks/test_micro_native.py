@@ -1,0 +1,132 @@
+"""Native microbenchmarks of the hot codec and middleware paths.
+
+These are conventional pytest-benchmark timings (host wall time) that
+make regressions in the numpy hot paths visible -- the profiling-first
+discipline of the hpc-parallel guides.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Application, CONTROL
+from repro.mjpeg.dct import fdct_blocks, idct_blocks
+from repro.mjpeg.decoder import decode_frame_bits
+from repro.mjpeg.encoder import encode_image
+from repro.mjpeg.stream import synthetic_frame
+from repro.runtime import NativeRuntime
+
+N_BLOCKS = 4096
+
+
+@pytest.fixture(scope="module")
+def coef_blocks():
+    rng = np.random.default_rng(0)
+    return rng.normal(0, 40, (N_BLOCKS, 8, 8))
+
+
+def test_bench_idct_blocks(benchmark, coef_blocks):
+    """Vectorised inverse DCT throughput (blocks/s in the extra info)."""
+    result = benchmark(idct_blocks, coef_blocks)
+    assert result.shape == (N_BLOCKS, 8, 8)
+    benchmark.extra_info["blocks_per_call"] = N_BLOCKS
+
+
+def test_bench_fdct_blocks(benchmark, coef_blocks):
+    result = benchmark(fdct_blocks, coef_blocks)
+    assert result.shape == (N_BLOCKS, 8, 8)
+
+
+def test_bench_huffman_decode(benchmark):
+    """The sequential entropy-decode path (the Fetch stage bottleneck)."""
+    frame = encode_image(synthetic_frame(0, 96, 96, np.random.default_rng(1)), quality=75)
+    zz = benchmark(decode_frame_bits, frame.payload, frame.n_blocks)
+    assert zz.shape == (frame.n_blocks, 64)
+    benchmark.extra_info["payload_bits"] = frame.n_bits
+
+
+def test_bench_encode_image(benchmark):
+    img = synthetic_frame(0, 96, 96, np.random.default_rng(2))
+    frame = benchmark(encode_image, img, 75)
+    assert frame.n_blocks == 144
+
+
+def test_bench_native_send_receive_roundtrip(benchmark):
+    """End-to-end mailbox latency through real threads, per message."""
+    N = 200
+
+    def run_once():
+        app = Application("bench")
+
+        def producer(ctx):
+            payload = bytes(1024)
+            for _ in range(N):
+                yield from ctx.send("out", payload)
+            yield from ctx.send("out", None, kind=CONTROL, tag="eos")
+
+        def consumer(ctx):
+            while True:
+                msg = yield from ctx.receive("in")
+                if msg.kind == CONTROL:
+                    return
+
+        app.create("p", behavior=producer, requires=["out"])
+        app.create("c", behavior=consumer, provides=["in"])
+        app.connect("p", "out", "c", "in")
+        rt = NativeRuntime()
+        rt.run(app)
+        rt.stop()
+
+    benchmark.pedantic(run_once, rounds=3, iterations=1)
+    benchmark.extra_info["messages_per_round"] = N
+
+
+def test_bench_sim_kernel_event_throughput(benchmark):
+    """Raw discrete-event throughput: the budget everything else spends."""
+    from repro.sim import Kernel
+
+    N = 50_000
+
+    def run_events():
+        k = Kernel()
+        for i in range(N):
+            k.schedule(i, lambda: None)
+        k.run()
+        return k.events_executed
+
+    executed = benchmark(run_events)
+    assert executed == N
+    benchmark.extra_info["events_per_round"] = N
+
+
+def test_bench_sim_pipeline_message_rate(benchmark):
+    """Messages/second through the full simulated stack (OS + mailbox +
+    observation interposition) -- the macro cost of one EMBera hop."""
+    from repro.core import Application, CONTROL
+    from repro.runtime import SmpSimRuntime
+
+    N = 2_000
+
+    def run_pipeline():
+        app = Application("rate")
+
+        def producer(ctx):
+            for _ in range(N):
+                yield from ctx.send("out", b"x" * 64)
+            yield from ctx.send("out", None, kind=CONTROL, tag="eos")
+
+        def consumer(ctx):
+            while True:
+                msg = yield from ctx.receive("in")
+                if msg.kind == CONTROL:
+                    return
+
+        app.create("p", behavior=producer, requires=["out"])
+        app.create("c", behavior=consumer, provides=["in"])
+        app.connect("p", "out", "c", "in")
+        app.attach_observer()
+        rt = SmpSimRuntime()
+        rt.run(app)
+        rt.stop()
+
+    benchmark.pedantic(run_pipeline, rounds=3, iterations=1)
+    benchmark.extra_info["messages_per_round"] = N

@@ -1,0 +1,23 @@
+"""EMBera reproduction: component-based observation of MPSoC.
+
+Reproduction of C. Prada-Rojas et al., "Towards a Component-based
+Observation of MPSoC" (INRIA RR-6905 / ICPP 2009).
+
+The package is organised as:
+
+- :mod:`repro.core` -- the EMBera component model and observation layer
+  (the paper's contribution).
+- :mod:`repro.sim` -- deterministic discrete-event simulation kernel.
+- :mod:`repro.hw` -- hardware platform models (16-core NUMA SMP, STi7200).
+- :mod:`repro.oslinux` / :mod:`repro.os21` -- operating-system substrates.
+- :mod:`repro.embx` -- EMBX-like shared-memory middleware.
+- :mod:`repro.runtime` -- native (threads) and simulated runtimes.
+- :mod:`repro.mjpeg` -- Motion-JPEG codec and the componentized decoder.
+- :mod:`repro.trace` -- event-trace extension (paper's future work).
+- :mod:`repro.metrics` -- counters, timers and report tables.
+- :mod:`repro.baselines` -- KPTrace-like low-level tracer baseline.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

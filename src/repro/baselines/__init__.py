@@ -1,0 +1,19 @@
+"""Baseline observation approaches the paper compares against.
+
+Section 2 describes the state of practice: "tools developed for SoC
+platform observation are also proprietary and low-level.  They mostly
+give information about hardware state ... and kernel events
+(interruptions, function calls) ... there is no mapping between
+application operations and lower-level observation data" (e.g. KPTrace).
+
+:mod:`repro.baselines.kptrace` implements that style of tool against the
+simulated OS substrates -- a kernel-level scheduler tracer that sees
+threads and cores but knows nothing about components -- so the ablation
+benches can quantify the paper's qualitative claim: component-level
+observation yields application-meaningful data at a fraction of the
+event volume.
+"""
+
+from repro.baselines.kptrace import KPTrace, SchedRecord
+
+__all__ = ["KPTrace", "SchedRecord"]

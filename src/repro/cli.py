@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the built-in platform inventory (cores, memory, cost anchors).
+``demo-smp [N]``
+    Run the componentized MJPEG decoder on the simulated 16-core SMP and
+    print Table-1/2-style observations (default 20 images).
+``demo-sti7200 [N]``
+    Same on the simulated STi7200 (Table-3 style).
+``observe``
+    Run the quickstart pipeline on the native runtime and dump all three
+    observation levels as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    from repro.hw import make_smp16, make_sti7200
+    from repro.metrics import Table
+
+    for platform in (make_smp16(), make_sti7200()):
+        table = Table(
+            ["core", "freq (MHz)", "node", "idct_block (us)", "memcpy 1kB (us)"],
+            title=f"platform {platform.name}: {platform.n_cores} cores, "
+            f"{platform.total_memory_bytes() / 1024**3:.0f} GiB",
+        )
+        for i, core in enumerate(platform.cores):
+            table.add_row(
+                [
+                    core.name,
+                    round(core.freq_hz / 1e6),
+                    platform.node_of_core(i),
+                    round(core.cost_ns("idct_block", 1) / 1e3, 1),
+                    round(core.cost_ns("memcpy_byte", 1024) / 1e3, 2),
+                ]
+            )
+        print(table.render())
+        print()
+    return 0
+
+
+def _demo(platform: str, n_images: int) -> int:
+    from repro.core import APPLICATION_LEVEL, OS_LEVEL
+    from repro.metrics import Table
+    from repro.metrics.analysis import summarize
+    from repro.mjpeg import generate_stream
+    from repro.mjpeg.components import build_smp_assembly, build_sti7200_assembly
+    from repro.runtime import SmpSimRuntime, Sti7200SimRuntime
+
+    stream = generate_stream(n_images, 96, 96, quality=75, seed=0)
+    if platform == "smp":
+        app = build_smp_assembly(stream, use_stored_coefficients=True)
+        rt = SmpSimRuntime()
+    else:
+        app = build_sti7200_assembly(stream, use_stored_coefficients=True)
+        rt = Sti7200SimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+
+    table = Table(["Component", "exec time (us)", "Mem (kB)", "sends", "receives"])
+    for comp in app.functional_components():
+        os_r = reports[(comp.name, OS_LEVEL)]
+        ap_r = reports[(comp.name, APPLICATION_LEVEL)]
+        table.add_row(
+            [comp.name, os_r["exec_time_us"], os_r["memory_kb"], ap_r["sends"], ap_r["receives"]]
+        )
+    print(table.render())
+    s = summarize(reports, makespan_ns=rt.makespan_ns)
+    print(
+        f"\nmakespan {rt.makespan_ns / 1e9:.3f} simulated s; "
+        f"bottleneck {s['bottleneck']} (imbalance {s['imbalance']:.2f}); "
+        f"messages conserved: {s['messages_conserved']}"
+    )
+    return 0
+
+
+def _cmd_observe(_args: argparse.Namespace) -> int:
+    from repro.core import Application, CONTROL
+    from repro.runtime import NativeRuntime
+
+    def producer(ctx):
+        """Demo producer behaviour."""
+        for _ in range(50):
+            yield from ctx.send("out", bytes(2048))
+        yield from ctx.send("out", None, kind=CONTROL, tag="eos")
+
+    def consumer(ctx):
+        """Demo consumer behaviour."""
+        while True:
+            msg = yield from ctx.receive("in")
+            if msg.kind == CONTROL:
+                return
+
+    app = Application("observe")
+    app.create("producer", behavior=producer, requires=["out"])
+    app.create("consumer", behavior=consumer, provides=["in"])
+    app.connect("producer", "out", "consumer", "in")
+    app.attach_observer()
+    rt = NativeRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    printable = {f"{comp}/{level}": data for (comp, level), data in reports.items()}
+    print(json.dumps(printable, indent=2, default=str))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EMBera reproduction: component-based observation of MPSoC",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the built-in platform inventory")
+
+    demo_smp = sub.add_parser("demo-smp", help="MJPEG decoder on the SMP model")
+    demo_smp.add_argument("images", nargs="?", type=int, default=20)
+
+    demo_sti = sub.add_parser("demo-sti7200", help="MJPEG decoder on the STi7200 model")
+    demo_sti.add_argument("images", nargs="?", type=int, default=20)
+
+    sub.add_parser("observe", help="observe a native-runtime pipeline, dump JSON")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "demo-smp":
+        return _demo("smp", args.images)
+    if args.command == "demo-sti7200":
+        return _demo("sti7200", args.images)
+    if args.command == "observe":
+        return _cmd_observe(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

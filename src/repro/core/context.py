@@ -1,0 +1,191 @@
+"""The component's window onto the world.
+
+A behaviour generator interacts exclusively through its
+:class:`ComponentContext` -- sending on required interfaces, receiving on
+provided interfaces, declaring computational work.  Every method that can
+block or cost time is a *generator* used with ``yield from``, which is
+what lets one behaviour run unmodified on the simulated platforms (where
+the yields carry scheduling commands) and on the native thread runtime
+(where the generators perform real blocking calls and yield nothing).
+
+The context is also the observation interposition point: send/receive are
+timed and counted by the component's
+:class:`~repro.core.observation.ObservationProbe` here, so observation
+requires no change to behaviour code -- the paper's central claim.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.core.errors import ConnectionError_
+from repro.core.messages import DATA, Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.component import Component
+    from repro.core.observation import ObservationProbe
+
+
+class ComponentContext(ABC):
+    """Abstract runtime services for one component."""
+
+    def __init__(self, component: "Component", probe: Optional["ObservationProbe"] = None) -> None:
+        self.component = component
+        self.probe = probe
+        self._seq = 0
+
+    @property
+    def name(self) -> str:
+        """The owning component's name."""
+        return self.component.name
+
+    # -- runtime primitives (implemented per runtime) -----------------------
+
+    @abstractmethod
+    def now_ns(self) -> int:
+        """Current timestamp in nanoseconds (platform clock)."""
+
+    def now_us(self) -> int:
+        """Microsecond timestamp -- the paper's gettimeofday granularity."""
+        return self.now_ns() // 1_000
+
+    @abstractmethod
+    def _transfer(self, target, message: Message) -> Generator:
+        """Move ``message`` into the provided interface ``target``'s
+        binding, charging transport costs.  Generator."""
+
+    @abstractmethod
+    def _receive_from(self, provided) -> Generator:
+        """Block until a message is available on ``provided``; return it.
+        Generator."""
+
+    @abstractmethod
+    def compute(self, opclass: str, units: float) -> Generator:
+        """Declare ``units`` of ``opclass`` computational work.  Generator."""
+
+    # -- public API used by behaviours ----------------------------------------
+
+    def send(
+        self,
+        required_name: str,
+        payload: Any,
+        kind: str = DATA,
+        tag: str = "",
+        size_bytes: int = -1,
+    ) -> Generator:
+        """Send a message through a required interface (asynchronous).
+
+        ``yield from ctx.send("output", block)``
+        """
+        req = self.component.get_required(required_name)
+        if req.target is None:
+            raise ConnectionError_(f"{req.qualified_name} is not connected")
+        self._seq += 1
+        message = Message(
+            payload=payload,
+            kind=kind,
+            tag=tag,
+            src=self.component.name,
+            src_interface=required_name,
+            seq=self._seq,
+            size_bytes=size_bytes,
+            sent_at_us=self.now_us(),
+        )
+        t0 = self.now_ns()
+        yield from self._transfer(req.target, message)
+        if self.probe is not None:
+            self.probe.record_send(required_name, message, self.now_ns() - t0)
+
+    def receive(self, provided_name: str) -> Generator:
+        """Receive the next message from a provided interface (blocking).
+
+        ``msg = yield from ctx.receive("input")``
+        """
+        prov = self.component.get_provided(provided_name)
+        t0 = self.now_ns()
+        message = yield from self._receive_from(prov)
+        if self.probe is not None:
+            self.probe.record_receive(
+                provided_name, message, self.now_ns() - t0, now_us=self.now_us()
+            )
+        return message
+
+    def deposit(
+        self,
+        provided_name: str,
+        payload: Any,
+        kind: str = DATA,
+        tag: str = "",
+    ) -> Generator:
+        """Place a message into one of this component's *own* provided
+        interfaces -- e.g. the Reorder component delivering reassembled
+        frames into its ``display`` mailbox for the display controller to
+        drain.  Deposits are not ``send`` operations: they do not count in
+        the application-level communication counters (Table 2 shows
+        Reorder with zero sends).
+
+        ``yield from ctx.deposit("display", image)``
+        """
+        prov = self.component.get_provided(provided_name)
+        self._seq += 1
+        message = Message(
+            payload=payload,
+            kind=kind,
+            tag=tag,
+            src=self.component.name,
+            src_interface=provided_name,
+            seq=self._seq,
+            sent_at_us=self.now_us(),
+        )
+        t0 = self.now_ns()
+        yield from self._transfer(prov, message)
+        if self.probe is not None:
+            self.probe.record_deposit(provided_name, message, self.now_ns() - t0)
+
+    def try_receive(self, provided_name: str):
+        """Non-blocking receive; returns the message or None.  Not a
+        generator -- usable where polling semantics are wanted."""
+        prov = self.component.get_provided(provided_name)
+        return self._try_receive_from(prov)
+
+    def _try_receive_from(self, provided):  # pragma: no cover - runtime-specific
+        raise NotImplementedError
+
+    # -- dynamic memory (the memory-evolution observation extension) --------
+
+    def alloc(self, nbytes: int, label: str = "heap") -> Generator:
+        """Allocate component heap memory from the platform.
+
+        ``handle = yield from ctx.alloc(65536)``
+
+        Allocations are charged to the component's memory domain (NUMA
+        node / local SRAM) and tracked by the observation probe, feeding
+        the paper's "evolution of memory during the execution" query.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        yield from self.compute("syscall", 1)
+        handle = self._alloc(nbytes, label)
+        if self.probe is not None:
+            self.probe.record_alloc(nbytes, self.now_us())
+        return handle
+
+    def free(self, handle) -> Generator:
+        """Release a previous :meth:`alloc`.
+
+        ``yield from ctx.free(handle)``
+        """
+        yield from self.compute("syscall", 1)
+        nbytes = self._free(handle)
+        if self.probe is not None:
+            self.probe.record_free(nbytes, self.now_us())
+
+    def _alloc(self, nbytes: int, label: str):  # pragma: no cover - runtime-specific
+        raise NotImplementedError
+
+    def _free(self, handle) -> int:  # pragma: no cover - runtime-specific
+        raise NotImplementedError
+
+    def log(self, text: str) -> None:
+        """Debug logging hook; runtimes may route or drop it."""

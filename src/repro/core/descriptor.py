@@ -1,0 +1,158 @@
+"""Deployment descriptors: JSON-portable application assemblies.
+
+The paper motivates components as "a well-suited solution to the
+programming and *deployment* problems" of SoC.  A descriptor captures an
+assembly's structure -- components, interfaces, connections, placement
+hints, observer wiring -- as plain JSON, so the same application can be
+re-instantiated against any runtime, with behaviours supplied separately
+(by name from a registry, or as prebuilt component objects for stateful
+components like the MJPEG Fetch).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Union
+
+from repro.core.application import Application
+from repro.core.component import Component
+from repro.core.errors import EmberaError
+from repro.core.interfaces import DEFAULT_MAILBOX_BYTES
+
+DESCRIPTOR_VERSION = 1
+
+_JSON_SAFE = (str, int, float, bool, type(None))
+
+
+class DescriptorError(EmberaError):
+    """Malformed descriptor or missing behaviour/component binding."""
+
+
+def app_to_descriptor(app: Application) -> Dict[str, Any]:
+    """Serialise an assembly's structure (not behaviours) to a dict."""
+    components = []
+    for comp in app.components.values():
+        if app.observer is not None and comp is app.observer:
+            continue  # observer wiring is recorded separately
+        components.append(
+            {
+                "name": comp.name,
+                "class": type(comp).__name__,
+                "provided": [
+                    {"name": p.name, "mailbox_bytes": p.mailbox_bytes}
+                    for p in comp.functional_provided()
+                ],
+                "required": [r.name for r in comp.functional_required()],
+                "placement": {
+                    k: v for k, v in comp.placement.items() if isinstance(v, _JSON_SAFE)
+                },
+            }
+        )
+    connections = []
+    for comp in app.components.values():
+        for req in comp.functional_required():
+            if req.target is not None:
+                connections.append(
+                    {
+                        "from": comp.name,
+                        "required": req.name,
+                        "to": req.target.component.name,
+                        "provided": req.target.name,
+                    }
+                )
+    descriptor: Dict[str, Any] = {
+        "version": DESCRIPTOR_VERSION,
+        "application": app.name,
+        "components": components,
+        "connections": connections,
+    }
+    if app.observer is not None:
+        descriptor["observer"] = {
+            "name": app.observer.name,
+            "targets": list(app.observer.targets),
+        }
+    return descriptor
+
+
+def app_from_descriptor(
+    descriptor: Mapping[str, Any],
+    behaviors: Optional[Mapping[str, Callable]] = None,
+    components: Optional[Mapping[str, Component]] = None,
+) -> Application:
+    """Instantiate an application from a descriptor.
+
+    Each component is bound either to a prebuilt :class:`Component`
+    (``components[name]`` -- must already declare the descriptor's
+    interfaces) or built as a plain component with
+    ``behaviors[name]`` as its behaviour and interfaces created from the
+    descriptor.
+    """
+    if descriptor.get("version") != DESCRIPTOR_VERSION:
+        raise DescriptorError(
+            f"unsupported descriptor version {descriptor.get('version')!r}"
+        )
+    behaviors = behaviors or {}
+    components = components or {}
+    app = Application(descriptor.get("application", "app"))
+    for spec in descriptor["components"]:
+        name = spec["name"]
+        if name in components:
+            comp = components[name]
+            if comp.name != name:
+                raise DescriptorError(
+                    f"prebuilt component named {comp.name!r} supplied for {name!r}"
+                )
+            _check_interfaces(comp, spec)
+        else:
+            if name not in behaviors:
+                raise DescriptorError(
+                    f"no behaviour or prebuilt component for {name!r}; "
+                    f"have behaviours for {sorted(behaviors)}"
+                )
+            comp = Component(name, behavior=behaviors[name])
+            for prov in spec["provided"]:
+                comp.add_provided(
+                    prov["name"], mailbox_bytes=prov.get("mailbox_bytes", DEFAULT_MAILBOX_BYTES)
+                )
+            for req in spec["required"]:
+                comp.add_required(req)
+        if spec.get("placement"):
+            comp.place(**spec["placement"])
+        app.add(comp)
+    for conn in descriptor["connections"]:
+        app.connect(conn["from"], conn["required"], conn["to"], conn["provided"])
+    observer_spec = descriptor.get("observer")
+    if observer_spec:
+        from repro.core.observer import ObserverComponent
+
+        app.attach_observer(
+            ObserverComponent(observer_spec.get("name", "observer")),
+            targets=observer_spec.get("targets") or None,
+        )
+    return app
+
+
+def _check_interfaces(comp: Component, spec: Mapping[str, Any]) -> None:
+    declared_p = {p["name"] for p in spec["provided"]}
+    actual_p = {p.name for p in comp.functional_provided()}
+    declared_r = set(spec["required"])
+    actual_r = {r.name for r in comp.functional_required()}
+    if declared_p != actual_p or declared_r != actual_r:
+        raise DescriptorError(
+            f"prebuilt component {comp.name!r} interfaces "
+            f"(provided={sorted(actual_p)}, required={sorted(actual_r)}) do not "
+            f"match descriptor (provided={sorted(declared_p)}, required={sorted(declared_r)})"
+        )
+
+
+def save_descriptor(app: Application, path: Union[str, Path]) -> None:
+    """Write the assembly descriptor as JSON."""
+    Path(path).write_text(
+        json.dumps(app_to_descriptor(app), indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+
+def load_descriptor(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a JSON assembly descriptor."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

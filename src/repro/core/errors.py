@@ -1,0 +1,22 @@
+"""EMBera error hierarchy."""
+
+from __future__ import annotations
+
+
+class EmberaError(Exception):
+    """Base class for component-model errors."""
+
+
+class ConnectionError_(EmberaError):
+    """Invalid interface wiring (unknown interface, double connection...).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class LifecycleError(EmberaError):
+    """Operation incompatible with the component/application state."""
+
+
+class ObservationError(EmberaError):
+    """Malformed observation request or unavailable observation level."""

@@ -1,0 +1,250 @@
+"""The EMBera observation layer.
+
+Paper section 3.3: "MPSoC observation has to take into account at least
+three levels: the system, the middleware and the application level."
+
+- **OS level** -- component execution time and memory occupation.  The
+  numbers come from the runtime (gettimeofday / task_time, stack size,
+  interface structures), exposed through an adapter callable so each
+  platform implements the same query its own way (sections 4.2 / 5.2).
+- **Middleware level** -- execution times of the ``send`` and ``receive``
+  primitives, recorded by interposition in the component context.
+- **Application level** -- component structure (interface listing) and
+  communication-operation counters.
+
+A probe is attached per component by the runtime; behaviour code never
+sees it.  Counters for Table 2 count *data* messages only -- control
+(end-of-stream) and observation traffic are infrastructure, not
+application communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.core.errors import ObservationError
+from repro.core.messages import DATA, OBSERVATION, Message
+from repro.metrics import Counter, Timer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.component import Component
+
+OS_LEVEL = "os"
+MIDDLEWARE_LEVEL = "middleware"
+APPLICATION_LEVEL = "application"
+
+LEVELS = (OS_LEVEL, MIDDLEWARE_LEVEL, APPLICATION_LEVEL)
+
+
+@dataclass(frozen=True)
+class ObservationRequest:
+    """Sent to a component's observation provided interface."""
+
+    level: str
+    query: str = "report"
+    reply_tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.level not in LEVELS:
+            raise ObservationError(f"unknown observation level {self.level!r}")
+
+
+@dataclass(frozen=True)
+class ObservationReply:
+    """Returned through the component's observation required interface."""
+
+    component: str
+    level: str
+    data: Dict[str, Any]
+    reply_tag: str = ""
+
+
+class ObservationProbe:
+    """Per-component accumulator fed by context interposition.
+
+    ``policy`` (an :class:`~repro.core.obspolicy.ObservationPolicy`)
+    selects what is recorded and which levels the observation service
+    answers; ``None`` means everything.
+    """
+
+    def __init__(self, component: "Component", policy=None) -> None:
+        self.component = component
+        self.policy = policy
+        self._op_index = 0
+        self.send_timer = Timer(f"{component.name}.send")
+        self.recv_timer = Timer(f"{component.name}.receive")
+        #: End-to-end message latency (sender timestamp -> delivery).
+        #: On OS21 the sender/receiver clocks are *local* per CPU, so this
+        #: inherits their skew -- faithfully to the platform (sec. 5.2).
+        self.latency_timer = Timer(f"{component.name}.latency")
+        self.send_timers_by_iface: Dict[str, Timer] = {}
+        self.recv_timers_by_iface: Dict[str, Timer] = {}
+        self.data_sends = Counter(f"{component.name}.sends")
+        self.data_receives = Counter(f"{component.name}.receives")
+        self.deposits = Counter(f"{component.name}.deposits")
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.started_at_us: Optional[int] = None
+        self.ended_at_us: Optional[int] = None
+        # Heap tracking (memory-evolution extension, paper section 6).
+        self.heap_bytes = 0
+        self.heap_peak = 0
+        self.heap_timeline: list = []  # (time_us, heap_bytes) samples
+        #: Runtime-provided OS-level report: ``fn() -> dict``.
+        self.os_adapter: Optional[Callable[[], Dict[str, Any]]] = None
+        #: Runtime-provided middleware extras (e.g. live queue depths).
+        self.middleware_adapter: Optional[Callable[[], Dict[str, Any]]] = None
+
+    # -- recording (called from ComponentContext) ----------------------------
+
+    def _should_time(self) -> bool:
+        policy = self.policy
+        if policy is None:
+            return True
+        if not policy.time_middleware:
+            return False
+        self._op_index += 1
+        return self._op_index % policy.sample_every == 0
+
+    def _track_bytes(self) -> bool:
+        return self.policy is None or self.policy.track_bytes
+
+    def record_send(self, iface: str, message: Message, duration_ns: int) -> None:
+        """Account one send operation (kind-aware; see class doc)."""
+        if message.kind == OBSERVATION:
+            return  # observation traffic must not observe itself
+        if self._should_time():
+            self.send_timer.record(duration_ns)
+            self.send_timers_by_iface.setdefault(iface, Timer(iface)).record(duration_ns)
+        if message.kind == DATA:
+            self.data_sends.inc()
+            if self._track_bytes():
+                self.bytes_sent += message.size_bytes
+
+    def record_deposit(self, iface: str, message: Message, duration_ns: int) -> None:
+        """A deposit into the component's own provided interface: tracked,
+        but deliberately outside the send counters (see Table 2)."""
+        if message.kind == OBSERVATION:
+            return
+        if message.kind == DATA:
+            self.deposits.inc()
+
+    def record_receive(
+        self, iface: str, message: Message, duration_ns: int, now_us: Optional[int] = None
+    ) -> None:
+        """Account one receive operation (kind-aware)."""
+        if message.kind == OBSERVATION:
+            return
+        if self._should_time():
+            self.recv_timer.record(duration_ns)
+            self.recv_timers_by_iface.setdefault(iface, Timer(iface)).record(duration_ns)
+            if now_us is not None and message.sent_at_us is not None:
+                # Clamp at zero: cross-CPU local clocks may run ahead.
+                self.latency_timer.record(max(0, (now_us - message.sent_at_us)) * 1_000)
+        if message.kind == DATA:
+            self.data_receives.inc()
+            if self._track_bytes():
+                self.bytes_received += message.size_bytes
+
+    def record_alloc(self, nbytes: int, time_us: int) -> None:
+        """Account a heap allocation (memory-evolution timeline)."""
+        self.heap_bytes += nbytes
+        self.heap_peak = max(self.heap_peak, self.heap_bytes)
+        self.heap_timeline.append((time_us, self.heap_bytes))
+
+    def record_free(self, nbytes: int, time_us: int) -> None:
+        """Account a heap release."""
+        self.heap_bytes -= nbytes
+        self.heap_timeline.append((time_us, self.heap_bytes))
+
+    # -- reports --------------------------------------------------------------
+
+    def report(self, level: str) -> Dict[str, Any]:
+        """Build the report dict for one observation level."""
+        if self.policy is not None and not self.policy.allows_level(level):
+            raise ObservationError(
+                f"level {level!r} disabled by the observation policy of "
+                f"{self.component.name!r}"
+            )
+        if level == OS_LEVEL:
+            return self._os_report()
+        if level == MIDDLEWARE_LEVEL:
+            return self._middleware_report()
+        if level == APPLICATION_LEVEL:
+            return self._application_report()
+        raise ObservationError(f"unknown observation level {level!r}")
+
+    def _os_report(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        if self.os_adapter is not None:
+            data.update(self.os_adapter())
+        if self.started_at_us is not None:
+            end = self.ended_at_us
+            data.setdefault("started_at_us", self.started_at_us)
+            if end is not None:
+                data.setdefault("exec_time_us", end - self.started_at_us)
+        if self.heap_timeline:
+            data.setdefault("heap_bytes", self.heap_bytes)
+            data.setdefault("heap_peak_bytes", self.heap_peak)
+            data.setdefault("heap_timeline", list(self.heap_timeline))
+        return data
+
+    def _middleware_report(self) -> Dict[str, Any]:
+        data = {
+            "send": self.send_timer.snapshot(),
+            "receive": self.recv_timer.snapshot(),
+            "latency": self.latency_timer.snapshot(),
+            "send_by_interface": {
+                name: t.snapshot() for name, t in self.send_timers_by_iface.items()
+            },
+            "receive_by_interface": {
+                name: t.snapshot() for name, t in self.recv_timers_by_iface.items()
+            },
+        }
+        if self.middleware_adapter is not None:
+            data.update(self.middleware_adapter())
+        return data
+
+    def _application_report(self) -> Dict[str, Any]:
+        return {
+            "structure": self.component.interfaces(),
+            "sends": self.data_sends.snapshot(),
+            "receives": self.data_receives.snapshot(),
+            "deposits": self.deposits.snapshot(),
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
+
+def observation_service_behavior(ctx, probe: ObservationProbe):
+    """The per-component observation servicing flow.
+
+    Spawned by the runtime next to each component (an interceptor, in
+    CORBA terms): consumes :class:`ObservationRequest` messages arriving
+    on the component's ``introspection`` provided interface and answers
+    through its ``introspection`` required interface.  Terminates on a
+    control message tagged ``"shutdown"``.
+    """
+    from repro.core.interfaces import OBSERVATION_INTERFACE
+
+    while True:
+        msg = yield from ctx.receive(OBSERVATION_INTERFACE)
+        if msg.kind != OBSERVATION:
+            if msg.tag == "shutdown":
+                return
+            continue  # ignore stray traffic on the control channel
+        request = msg.payload
+        if not isinstance(request, ObservationRequest):
+            continue
+        try:
+            data = probe.report(request.level)
+        except ObservationError as error:
+            data = {"error": str(error)}
+        reply = ObservationReply(
+            component=ctx.component.name,
+            level=request.level,
+            data=data,
+            reply_tag=request.reply_tag,
+        )
+        yield from ctx.send(OBSERVATION_INTERFACE, reply, kind=OBSERVATION)

@@ -1,0 +1,24 @@
+"""EMBX-like shared-memory middleware for the STi7200 model.
+
+The real EMBX (STMicroelectronics) manages shared-memory regions called
+*distributed objects*, written by an asynchronous ``EMBX_Send`` and read
+by a synchronous ``EMBX_Receive``, with an interrupt controller signalling
+availability (paper section 5).  This module reproduces that API over the
+simulated platform.
+"""
+
+from repro.embx.transport import (
+    BOUNCE_BUFFER_BYTES,
+    BOUNCE_PENALTY,
+    DistributedObject,
+    EmbxError,
+    EmbxTransport,
+)
+
+__all__ = [
+    "BOUNCE_BUFFER_BYTES",
+    "BOUNCE_PENALTY",
+    "DistributedObject",
+    "EmbxError",
+    "EmbxTransport",
+]

@@ -1,0 +1,7 @@
+"""Counters, timers, report tables and analyses for observation data."""
+
+from repro.metrics.asciichart import render_xy
+from repro.metrics.stats import Counter, MemoryStats, Timer
+from repro.metrics.table import Table
+
+__all__ = ["Counter", "MemoryStats", "Table", "Timer", "render_xy"]

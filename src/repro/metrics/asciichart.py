@@ -1,0 +1,75 @@
+"""ASCII XY charts for figure-style benchmark output.
+
+Terminal-friendly scatter/line rendering used by the Figure 4 / Figure 8
+benches so the regenerated curves are inspectable without a plotting
+stack (the repository is offline-first).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_GLYPHS = "*+o#@%"
+
+
+def render_xy(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over shared x values.
+
+    Each series gets a glyph; points are plotted on a ``width`` x
+    ``height`` grid with linear axes anchored at zero on y (performance
+    curves should not lie by truncation).
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart needs width >= 10 and height >= 4")
+    if not series:
+        raise ValueError("no series to plot")
+    x = list(x)
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} has {len(ys)} points for {len(x)} x values")
+    if not x:
+        raise ValueError("no points to plot")
+
+    x_min, x_max = min(x), max(x)
+    y_max = max(max(ys) for ys in series.values())
+    y_min = 0.0
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for xv, yv in zip(x, ys):
+            col = round((xv - x_min) / x_span * (width - 1))
+            row = height - 1 - round((yv - y_min) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    label_w = max(len(f"{y_max:.4g}"), len("0"))
+    lines: List[str] = []
+    if y_label:
+        lines.append(f"{y_label}")
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{y_max:.4g}"
+        elif r == height - 1:
+            label = "0"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_w}} |{''.join(row)}")
+    lines.append(f"{'':>{label_w}} +{'-' * width}")
+    x_axis = f"{x_min:.4g}".ljust(width - len(f"{x_max:.4g}")) + f"{x_max:.4g}"
+    lines.append(f"{'':>{label_w}}  {x_axis}")
+    if x_label:
+        lines.append(f"{'':>{label_w}}  {x_label:^{width}}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{label_w}}  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Motion-JPEG codec and the componentized decoder of the paper.
+
+The decode pipeline is a real baseline-JPEG path, split exactly as the
+paper splits it across components (section 3.2):
+
+- **Fetch**: file management, Huffman decoding and pixel (zigzag)
+  reordering -> dequantized coefficient blocks (:mod:`repro.mjpeg.huffman`,
+  :mod:`repro.mjpeg.zigzag`, :mod:`repro.mjpeg.quant`).
+- **IDCT**: the Inverse Discrete Cosine Transform (:mod:`repro.mjpeg.dct`).
+- **Reorder**: block reassembly into images and delivery to the display
+  (:mod:`repro.mjpeg.decoder`).
+
+:mod:`repro.mjpeg.stream` generates synthetic encoded MJPEG streams (the
+paper's 578/3000-image input files are not available);
+:mod:`repro.mjpeg.components` wraps the stages as EMBera components for
+both the SMP (Fetch + 3 IDCT + Reorder) and STi7200 (Fetch-Reorder +
+2 IDCT) assemblies.
+"""
+
+from repro.mjpeg.dct import fdct_blocks, idct_blocks
+from repro.mjpeg.decoder import assemble_image, decode_frame_coefficients, decode_image, split_blocks
+from repro.mjpeg.encoder import encode_image
+from repro.mjpeg.huffman import HuffmanTable, STD_AC_LUMA, STD_DC_LUMA
+from repro.mjpeg.quant import quant_table
+from repro.mjpeg.stream import FrameRecord, MJPEGStream, generate_stream, synthetic_frame
+from repro.mjpeg.zigzag import ZIGZAG_ORDER, dezigzag, zigzag
+
+__all__ = [
+    "FrameRecord",
+    "HuffmanTable",
+    "MJPEGStream",
+    "STD_AC_LUMA",
+    "STD_DC_LUMA",
+    "ZIGZAG_ORDER",
+    "assemble_image",
+    "decode_frame_coefficients",
+    "decode_image",
+    "dezigzag",
+    "encode_image",
+    "fdct_blocks",
+    "generate_stream",
+    "idct_blocks",
+    "quant_table",
+    "split_blocks",
+    "synthetic_frame",
+    "zigzag",
+]

@@ -1,0 +1,75 @@
+"""Bit-level I/O for the entropy-coded segment."""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """MSB-first bit accumulator."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+        self.bits_written = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` of ``value``, MSB first."""
+        if nbits < 0 or nbits > 32:
+            raise ValueError(f"nbits out of range: {nbits}")
+        if nbits == 0:
+            return
+        if value < 0 or value >= (1 << nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        self.bits_written += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._out.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1
+
+    def getvalue(self) -> bytes:
+        """Finish the stream, padding the final byte with 1-bits (JPEG
+        convention) -- the padding is not counted in ``bits_written``."""
+        out = bytearray(self._out)
+        if self._nbits:
+            pad = 8 - self._nbits
+            out.append(((self._acc << pad) | ((1 << pad) - 1)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """MSB-first bit consumer over a bytes object."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # absolute bit position
+        self._nbits_total = len(data) * 8
+
+    @property
+    def bits_read(self) -> int:
+        """Number of bits consumed so far."""
+        return self._pos
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no bits remain."""
+        return self._pos >= self._nbits_total
+
+    def read_bit(self) -> int:
+        """Read a single bit (EOFError past the end)."""
+        if self._pos >= self._nbits_total:
+            raise EOFError("bit stream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read(self, nbits: int) -> int:
+        """Read ``nbits`` MSB-first; returns the unsigned value."""
+        if nbits < 0:
+            raise ValueError(f"negative nbits: {nbits}")
+        value = 0
+        for _ in range(nbits):
+            value = (value << 1) | self.read_bit()
+        return value

@@ -1,0 +1,67 @@
+"""Color support: YCbCr conversion and 4:2:0 chroma subsampling.
+
+JFIF/BT.601 full-range conventions, fully vectorised.  Together with the
+chroma quantization/Huffman tables this upgrades the codec from the
+grayscale baseline the case study needs to a complete color MJPEG path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# BT.601 full-range (JFIF) matrices.
+_RGB_TO_YCC = np.array(
+    [
+        [0.299, 0.587, 0.114],
+        [-0.168736, -0.331264, 0.5],
+        [0.5, -0.418688, -0.081312],
+    ]
+)
+_YCC_TO_RGB = np.array(
+    [
+        [1.0, 0.0, 1.402],
+        [1.0, -0.344136, -0.714136],
+        [1.0, 1.772, 0.0],
+    ]
+)
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """(H, W, 3) uint8 RGB -> (H, W, 3) float64 YCbCr (full range,
+    chroma centred on 128)."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3), got {rgb.shape}")
+    ycc = rgb.astype(np.float64) @ _RGB_TO_YCC.T
+    ycc[..., 1:] += 128.0
+    return ycc
+
+
+def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
+    """(H, W, 3) float YCbCr -> (H, W, 3) uint8 RGB (clamped)."""
+    ycc = np.asarray(ycc, dtype=np.float64).copy()
+    if ycc.ndim != 3 or ycc.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3), got {ycc.shape}")
+    ycc[..., 1:] -= 128.0
+    rgb = ycc @ _YCC_TO_RGB.T
+    return np.clip(np.round(rgb), 0, 255).astype(np.uint8)
+
+
+def subsample_420(plane: np.ndarray) -> np.ndarray:
+    """(H, W) -> (H/2, W/2) by 2x2 averaging (requires even dims)."""
+    plane = np.asarray(plane, dtype=np.float64)
+    h, w = plane.shape
+    if h % 2 or w % 2:
+        raise ValueError(f"4:2:0 needs even dimensions, got {plane.shape}")
+    return plane.reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3))
+
+
+def upsample_420(plane: np.ndarray, height: int, width: int) -> np.ndarray:
+    """(H/2, W/2) -> (H, W) by sample replication."""
+    plane = np.asarray(plane)
+    h2, w2 = plane.shape
+    if (height, width) != (h2 * 2, w2 * 2):
+        raise ValueError(
+            f"cannot upsample {plane.shape} to {(height, width)}: expected exact 2x"
+        )
+    return np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)

@@ -1,0 +1,323 @@
+"""The componentized MJPEG decoder (paper sections 3.2, 4.3 and 5.3).
+
+SMP assembly (Figure 3)::
+
+    Fetch --fetchIdct{1..3}--> IDCT_{1..3} --idctReorder--> Reorder --> display
+
+STi7200 assembly (Figure 7)::
+
+    Fetch-Reorder --fetchIdct{1,2}--> IDCT_{1,2} --idctReorder--> Fetch-Reorder
+
+Interface names follow Figure 5: each IDCT provides ``_fetchIdctN`` and
+requires ``idctReorder``.  The Reorder side exposes two provided
+interfaces -- the shared ``idctReorder`` input and the ``display`` output
+mailbox drained by the display controller -- which is exactly the
+two-provided-interface footprint Table 1 reports for Reorder (and the two
+distributed objects Table 3 reports for Fetch-Reorder).
+
+Dispatch protocol: every image is partitioned into
+:data:`BATCHES_PER_IMAGE` block batches sent round-robin over the IDCT
+components.  The *first* image of a stream primes the entropy state
+(tables, DC predictors) inside Fetch and is not dispatched, so a stream
+of N images produces ``18 * (N - 1)`` data sends from Fetch -- matching
+Table 2 exactly (10 386 for 578 images, 53 982 for 3 000).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+import numpy as np
+
+from repro.core.application import Application
+from repro.core.component import Component
+from repro.core.messages import CONTROL
+from repro.mjpeg.decoder import (
+    assemble_image,
+    coefficients_from_qzz,
+    decode_frame_coefficients,
+    idct_stage,
+    split_blocks,
+)
+from repro.mjpeg.stream import MJPEGStream
+
+#: Batches per image; with 96x96 frames (144 blocks) each batch is 8 blocks.
+BATCHES_PER_IMAGE = 18
+
+#: Message tags.
+TAG_BATCH = "batch"
+TAG_PIXELS = "pixels"
+TAG_FRAME = "frame"
+TAG_EOS = "eos"
+
+
+def _fetch_stage(record, quality: int, use_stored_coefficients: bool) -> np.ndarray:
+    """Fetch-stage decode of one frame: real bit walk or stored-coef fast
+    path.  Both produce identical coefficients (tested) and are charged
+    identically, so large simulated runs can skip the Python-level walk."""
+    frame = record.frame
+    if use_stored_coefficients:
+        return coefficients_from_qzz(frame.qcoefs_zz, quality)
+    return decode_frame_coefficients(frame.payload, frame.n_blocks, quality)
+
+
+class FetchComponent(Component):
+    """File management + Huffman decoding + pixel reordering."""
+
+    def __init__(
+        self,
+        name: str,
+        stream: MJPEGStream,
+        n_idct: int = 3,
+        batches_per_image: int = BATCHES_PER_IMAGE,
+        use_stored_coefficients: bool = False,
+    ) -> None:
+        super().__init__(name)
+        if n_idct < 1:
+            raise ValueError(f"need at least one IDCT, got {n_idct}")
+        self.stream = stream
+        self.n_idct = n_idct
+        self.batches_per_image = batches_per_image
+        self.use_stored_coefficients = use_stored_coefficients
+        for i in range(1, n_idct + 1):
+            self.add_required(f"fetchIdct{i}")
+
+    def idct_targets(self) -> list:
+        """Currently connected IDCT interfaces, in index order.
+
+        Re-evaluated per frame so dynamically added IDCT components
+        (runtime reconfiguration) start receiving work immediately.
+        """
+        names = [
+            r.name
+            for r in self.required.values()
+            if r.name.startswith("fetchIdct") and r.connected
+        ]
+        return sorted(names, key=lambda n: int(n[len("fetchIdct"):]))
+
+    def behavior(self, ctx) -> Generator:
+        """The component's execution flow (generator over ctx)."""
+        quality = self.stream.quality
+        for record in self.stream:
+            coefs = _fetch_stage(record, quality, self.use_stored_coefficients)
+            yield from ctx.compute("huffman_block", record.n_blocks)
+            if record.index == 0:
+                continue  # the first image primes the entropy state
+            targets = self.idct_targets()
+            batches = split_blocks(coefs.astype(np.float32), self.batches_per_image)
+            for b, batch in enumerate(batches):
+                payload = {"frame": record.index, "batch": b, "coefs": batch}
+                yield from ctx.send(targets[b % len(targets)], payload, tag=TAG_BATCH)
+        for target in self.idct_targets():
+            yield from ctx.send(target, None, kind=CONTROL, tag=TAG_EOS)
+
+
+class IdctComponent(Component):
+    """The Inverse Discrete Cosine Transform stage."""
+
+    def __init__(self, name: str, index: int) -> None:
+        super().__init__(name)
+        self.index = index
+        self.input_name = f"_fetchIdct{index}"
+        self.add_provided(self.input_name)
+        self.add_required("idctReorder")
+
+    def behavior(self, ctx) -> Generator:
+        """The component's execution flow (generator over ctx)."""
+        processed = 0
+        while True:
+            msg = yield from ctx.receive(self.input_name)
+            if msg.kind == CONTROL and msg.tag == TAG_EOS:
+                yield from ctx.send("idctReorder", None, kind=CONTROL, tag=TAG_EOS)
+                return processed
+            batch = msg.payload
+            pixels = idct_stage(batch["coefs"])
+            yield from ctx.compute("idct_block", pixels.shape[0])
+            payload = {"frame": batch["frame"], "batch": batch["batch"], "pixels": pixels}
+            yield from ctx.send("idctReorder", payload, tag=TAG_PIXELS)
+            processed += 1
+
+
+class ReorderComponent(Component):
+    """Image reassembly + delivery to the display mailbox."""
+
+    def __init__(
+        self,
+        name: str,
+        height: int,
+        width: int,
+        n_upstream: Optional[int] = 3,
+        batches_per_image: int = BATCHES_PER_IMAGE,
+        keep_frames: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.height = height
+        self.width = width
+        #: None means "count the upstreams live" -- required when IDCT
+        #: components are added by dynamic reconfiguration.
+        self.n_upstream = n_upstream
+        self.batches_per_image = batches_per_image
+        self.keep_frames = keep_frames
+        self.frames: Dict[int, np.ndarray] = {}
+        self.add_provided("idctReorder")
+        self.add_provided("display")
+
+    def _upstream_count(self) -> int:
+        if self.n_upstream is not None:
+            return self.n_upstream
+        return len(self.get_provided("idctReorder").connected_from)
+
+    def behavior(self, ctx) -> Generator:
+        """The component's execution flow (generator over ctx)."""
+        n_blocks = (self.height // 8) * (self.width // 8)
+        pending: Dict[int, Dict[int, np.ndarray]] = {}
+        eos_seen = 0
+        completed = 0
+        while eos_seen < self._upstream_count():
+            msg = yield from ctx.receive("idctReorder")
+            if msg.kind == CONTROL and msg.tag == TAG_EOS:
+                eos_seen += 1
+                continue
+            item = msg.payload
+            frame_batches = pending.setdefault(item["frame"], {})
+            frame_batches[item["batch"]] = item["pixels"]
+            if len(frame_batches) == self.batches_per_image:
+                batches = [frame_batches[i] for i in range(self.batches_per_image)]
+                image = assemble_image(batches, self.height, self.width)
+                yield from ctx.compute("reorder_block", n_blocks)
+                yield from ctx.deposit("display", image, tag=TAG_FRAME)
+                if self.keep_frames:
+                    self.frames[item["frame"]] = image
+                del pending[item["frame"]]
+                completed += 1
+        if pending:
+            raise RuntimeError(
+                f"reorder finished with {len(pending)} incomplete frame(s): "
+                f"{sorted(pending)[:5]}"
+            )
+        return completed
+
+
+class FetchReorderComponent(Component):
+    """The merged I/O component of the STi7200 deployment (section 5.3):
+    Fetch and Reorder functionality in a single component on the
+    general-purpose ST40."""
+
+    def __init__(
+        self,
+        name: str,
+        stream: MJPEGStream,
+        n_idct: int = 2,
+        batches_per_image: int = BATCHES_PER_IMAGE,
+        use_stored_coefficients: bool = False,
+        keep_frames: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.stream = stream
+        self.n_idct = n_idct
+        self.batches_per_image = batches_per_image
+        self.use_stored_coefficients = use_stored_coefficients
+        self.keep_frames = keep_frames
+        self.frames: Dict[int, np.ndarray] = {}
+        for i in range(1, n_idct + 1):
+            self.add_required(f"fetchIdct{i}")
+        self.add_provided("idctReorder")
+        self.add_provided("display")
+
+    def behavior(self, ctx) -> Generator:
+        """The component's execution flow (generator over ctx)."""
+        stream = self.stream
+        quality = stream.quality
+        n_blocks = stream.n_blocks_per_frame
+        completed = 0
+        for record in stream:
+            coefs = _fetch_stage(record, quality, self.use_stored_coefficients)
+            yield from ctx.compute("huffman_block", record.n_blocks)
+            if record.index == 0:
+                continue
+            batches = split_blocks(coefs.astype(np.float32), self.batches_per_image)
+            for b, batch in enumerate(batches):
+                target = f"fetchIdct{(b % self.n_idct) + 1}"
+                payload = {"frame": record.index, "batch": b, "coefs": batch}
+                yield from ctx.send(target, payload, tag=TAG_BATCH)
+            # Reorder half: collect this frame's batches back.
+            got: Dict[int, np.ndarray] = {}
+            while len(got) < self.batches_per_image:
+                msg = yield from ctx.receive("idctReorder")
+                item = msg.payload
+                got[item["batch"]] = item["pixels"]
+            image = assemble_image(
+                [got[i] for i in range(self.batches_per_image)], stream.height, stream.width
+            )
+            yield from ctx.compute("reorder_block", n_blocks)
+            yield from ctx.deposit("display", image, tag=TAG_FRAME)
+            if self.keep_frames:
+                self.frames[record.index] = image
+            completed += 1
+        for i in range(1, self.n_idct + 1):
+            yield from ctx.send(f"fetchIdct{i}", None, kind=CONTROL, tag=TAG_EOS)
+        # Drain the IDCTs' end-of-stream acknowledgements.
+        eos_seen = 0
+        while eos_seen < self.n_idct:
+            msg = yield from ctx.receive("idctReorder")
+            if msg.kind == CONTROL and msg.tag == TAG_EOS:
+                eos_seen += 1
+        return completed
+
+
+def build_smp_assembly(
+    stream: MJPEGStream,
+    n_idct: int = 3,
+    use_stored_coefficients: bool = False,
+    keep_frames: bool = False,
+    with_observer: bool = True,
+) -> Application:
+    """The Figure 3 application: Fetch + n IDCT + Reorder."""
+    app = Application("mjpeg-smp")
+    fetch = app.add(
+        FetchComponent(
+            "Fetch", stream, n_idct=n_idct, use_stored_coefficients=use_stored_coefficients
+        )
+    )
+    idcts = [app.add(IdctComponent(f"IDCT_{i}", i)) for i in range(1, n_idct + 1)]
+    reorder = app.add(
+        ReorderComponent(
+            "Reorder", stream.height, stream.width, n_upstream=n_idct, keep_frames=keep_frames
+        )
+    )
+    for i, idct in enumerate(idcts, start=1):
+        app.connect(fetch, f"fetchIdct{i}", idct, f"_fetchIdct{i}")
+        app.connect(idct, "idctReorder", reorder, "idctReorder")
+    if with_observer:
+        app.attach_observer(targets=[fetch, *idcts, reorder])
+    return app
+
+
+def build_sti7200_assembly(
+    stream: MJPEGStream,
+    n_idct: int = 2,
+    use_stored_coefficients: bool = False,
+    keep_frames: bool = False,
+    with_observer: bool = True,
+) -> Application:
+    """The Figure 7 application: Fetch-Reorder on the ST40 (cpu 0) and
+    one IDCT per ST231 accelerator."""
+    app = Application("mjpeg-sti7200")
+    fr = app.add(
+        FetchReorderComponent(
+            "Fetch-Reorder",
+            stream,
+            n_idct=n_idct,
+            use_stored_coefficients=use_stored_coefficients,
+            keep_frames=keep_frames,
+        )
+    ).place(cpu=0)
+    idcts = []
+    for i in range(1, n_idct + 1):
+        idct = app.add(IdctComponent(f"IDCT_{i}", i)).place(cpu=i)
+        idcts.append(idct)
+        app.connect(fr, f"fetchIdct{i}", idct, f"_fetchIdct{i}")
+        app.connect(idct, "idctReorder", fr, "idctReorder")
+    if with_observer:
+        app.attach_observer(targets=[fr, *idcts])
+    return app

@@ -1,0 +1,124 @@
+"""The MJPR stream container: MJPEG streams on disk.
+
+The paper's Fetch component "deals with file management" -- this module
+gives it files to manage.  The format is deliberately simple and fully
+specified here:
+
+```
+header:  magic "MJPR" | version u16 | flags u16 | quality u8 | pad u8
+         height u16 | width u16 | n_frames u32
+frame:   n_blocks u32 | n_bits u32 | payload_len u32 | payload bytes
+         [if flags & FLAG_COEFS: qcoefs int16[n_blocks*64] little-endian]
+```
+
+All integers little-endian.  Optionally the quantized coefficients are
+stored next to each payload so the cost-model-only Fetch path works on
+loaded streams without re-running the entropy decoder.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.mjpeg.encoder import EncodedFrame
+from repro.mjpeg.stream import FrameRecord, MJPEGStream
+
+MAGIC = b"MJPR"
+VERSION = 1
+FLAG_COEFS = 0x0001
+
+_HEADER = struct.Struct("<4sHHBxHHI")
+_FRAME = struct.Struct("<III")
+
+PathLike = Union[str, Path]
+
+
+class ContainerError(Exception):
+    """Malformed or unsupported MJPR data."""
+
+
+def save_stream(stream: MJPEGStream, path: PathLike, with_coefficients: bool = True) -> int:
+    """Write a stream; returns the byte size of the file."""
+    flags = FLAG_COEFS if with_coefficients else 0
+    chunks = [
+        _HEADER.pack(
+            MAGIC, VERSION, flags, stream.quality, stream.height, stream.width, len(stream)
+        )
+    ]
+    for record in stream:
+        frame = record.frame
+        payload = frame.payload
+        chunks.append(_FRAME.pack(frame.n_blocks, frame.n_bits, len(payload)))
+        chunks.append(payload)
+        if with_coefficients:
+            coefs = np.ascontiguousarray(frame.qcoefs_zz, dtype="<i2")
+            if coefs.shape != (frame.n_blocks, 64):
+                raise ContainerError(
+                    f"frame {record.index}: coefficient shape {coefs.shape} "
+                    f"!= {(frame.n_blocks, 64)}"
+                )
+            chunks.append(coefs.tobytes())
+    data = b"".join(chunks)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_stream(path: PathLike) -> MJPEGStream:
+    """Read a stream written by :func:`save_stream`.
+
+    When the file has no stored coefficients they are reconstructed by
+    entropy-decoding each payload, so loaded streams always support both
+    Fetch paths.
+    """
+    data = Path(path).read_bytes()
+    if len(data) < _HEADER.size:
+        raise ContainerError("file shorter than an MJPR header")
+    magic, version, flags, quality, height, width, n_frames = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise ContainerError(f"bad magic {magic!r}; not an MJPR file")
+    if version != VERSION:
+        raise ContainerError(f"unsupported MJPR version {version}")
+    offset = _HEADER.size
+    records = []
+    for index in range(n_frames):
+        try:
+            n_blocks, n_bits, payload_len = _FRAME.unpack_from(data, offset)
+        except struct.error as error:
+            raise ContainerError(f"truncated frame header at frame {index}") from error
+        offset += _FRAME.size
+        end = offset + payload_len
+        if end > len(data):
+            raise ContainerError(f"truncated payload at frame {index}")
+        payload = data[offset:end]
+        offset = end
+        if flags & FLAG_COEFS:
+            nbytes = n_blocks * 64 * 2
+            if offset + nbytes > len(data):
+                raise ContainerError(f"truncated coefficients at frame {index}")
+            coefs = (
+                np.frombuffer(data, dtype="<i2", count=n_blocks * 64, offset=offset)
+                .reshape(n_blocks, 64)
+                .astype(np.int16)
+            )
+            offset += nbytes
+        else:
+            from repro.mjpeg.decoder import decode_frame_bits
+
+            coefs = decode_frame_bits(payload, n_blocks).astype(np.int16)
+        frame = EncodedFrame(
+            payload=payload,
+            n_bits=n_bits,
+            height=height,
+            width=width,
+            quality=quality,
+            n_blocks=n_blocks,
+            qcoefs_zz=coefs,
+        )
+        records.append(FrameRecord(index=index, frame=frame))
+    if offset != len(data):
+        raise ContainerError(f"{len(data) - offset} trailing bytes after last frame")
+    return MJPEGStream(records, height, width, quality)

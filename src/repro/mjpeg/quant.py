@@ -1,0 +1,63 @@
+"""Quantization tables (JPEG Annex K) with libjpeg quality scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Annex K table K.1 -- luminance quantization, raster order.
+STD_LUMA_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int32,
+)
+
+
+#: Annex K table K.2 -- chrominance quantization, raster order.
+STD_CHROMA_QUANT = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.int32,
+)
+
+
+def quant_table(quality: int = 75, chroma: bool = False) -> np.ndarray:
+    """Annex K table scaled with the libjpeg quality formula.
+
+    quality 50 returns the base table; higher is finer quantization.
+    ``chroma=True`` selects the chrominance table (K.2).
+    """
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in [1, 100], got {quality}")
+    if quality < 50:
+        scale = 5000 // quality
+    else:
+        scale = 200 - 2 * quality
+    base = STD_CHROMA_QUANT if chroma else STD_LUMA_QUANT
+    table = (base * scale + 50) // 100
+    return np.clip(table, 1, 255).astype(np.int32)
+
+
+def quantize(coefs: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Round DCT coefficients to quantized integers (..., 8, 8)."""
+    return np.round(np.asarray(coefs) / table).astype(np.int32)
+
+
+def dequantize(qcoefs: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Rescale quantized integers back to coefficient magnitudes."""
+    return (np.asarray(qcoefs) * table).astype(np.float64)

@@ -1,0 +1,60 @@
+"""Zigzag coefficient ordering (JPEG figure 5 scan pattern).
+
+The "pixel reordering" step the paper assigns to the Fetch component.
+Both directions are pure fancy-indexing and vectorise over any leading
+batch dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _build_zigzag_order() -> np.ndarray:
+    """Indices such that ``flat_block[order] == zigzag_sequence``."""
+    order = np.empty(64, dtype=np.int64)
+    row = col = 0
+    for i in range(64):
+        order[i] = row * 8 + col
+        if (row + col) % 2 == 0:  # moving up-right
+            if col == 7:
+                row += 1
+            elif row == 0:
+                col += 1
+            else:
+                row -= 1
+                col += 1
+        else:  # moving down-left
+            if row == 7:
+                col += 1
+            elif col == 0:
+                row += 1
+            else:
+                row += 1
+                col -= 1
+    return order
+
+
+#: ``ZIGZAG_ORDER[i]`` is the raster index of the i-th zigzag coefficient.
+ZIGZAG_ORDER = _build_zigzag_order()
+
+#: ``INVERSE_ZIGZAG[raster_index] = zigzag_position``.
+INVERSE_ZIGZAG = np.argsort(ZIGZAG_ORDER)
+
+
+def zigzag(blocks: np.ndarray) -> np.ndarray:
+    """(..., 8, 8) raster blocks -> (..., 64) zigzag sequences."""
+    blocks = np.asarray(blocks)
+    if blocks.shape[-2:] != (8, 8):
+        raise ValueError(f"expected trailing (8, 8), got {blocks.shape}")
+    flat = blocks.reshape(*blocks.shape[:-2], 64)
+    return flat[..., ZIGZAG_ORDER]
+
+
+def dezigzag(seqs: np.ndarray) -> np.ndarray:
+    """(..., 64) zigzag sequences -> (..., 8, 8) raster blocks."""
+    seqs = np.asarray(seqs)
+    if seqs.shape[-1] != 64:
+        raise ValueError(f"expected trailing 64, got {seqs.shape}")
+    flat = seqs[..., INVERSE_ZIGZAG]
+    return flat.reshape(*seqs.shape[:-1], 8, 8)

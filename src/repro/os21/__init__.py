@@ -1,0 +1,11 @@
+"""OS21-like RTOS substrate for the simulated STi7200 platform.
+
+Models the OS21 API surface the paper's EMBera port uses: task creation
+with per-CPU deployment (one binary per CPU), priority-preemptive
+scheduling, ``task_time`` (per-task CPU time), ``time_now`` (per-CPU local
+clocks), and memory partitions.
+"""
+
+from repro.os21.system import OS21System, OS21Task, Partition
+
+__all__ = ["OS21System", "OS21Task", "Partition"]

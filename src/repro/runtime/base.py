@@ -1,0 +1,186 @@
+"""Runtime base class and shared orchestration logic."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.application import Application
+from repro.core.component import Component, ComponentState
+from repro.core.observation import LEVELS, ObservationProbe
+
+
+class RuntimeError_(Exception):
+    """Deployment or execution error in a runtime.
+
+    Trailing underscore avoids shadowing the builtin.
+    """
+
+
+class ComponentContainer:
+    """Everything a runtime keeps per component."""
+
+    __slots__ = ("component", "probe", "context", "service_context", "handle", "service_handle", "extra")
+
+    def __init__(self, component: Component, probe: ObservationProbe) -> None:
+        self.component = component
+        self.probe = probe
+        self.context = None
+        self.service_context = None
+        self.handle = None          # behaviour thread/task
+        self.service_handle = None  # observation service thread/task
+        self.extra: Dict[str, Any] = {}
+
+
+class Runtime(ABC):
+    """Lifecycle driver: deploy -> start -> wait -> collect -> stop."""
+
+    def __init__(self) -> None:
+        self.app: Optional[Application] = None
+        self.containers: Dict[str, ComponentContainer] = {}
+        #: Default observation policy for every probe; a component may
+        #: override it via ``comp.place(observation_policy=...)``.
+        self.observation_policy = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @abstractmethod
+    def deploy(self, app: Application) -> None:
+        """Bind interfaces to transports, allocate memory, build contexts."""
+
+    @abstractmethod
+    def start(self) -> None:
+        """Launch every component's execution flow (and its observation
+        service)."""
+
+    @abstractmethod
+    def wait(self) -> None:
+        """Block/run until every functional component's behaviour returns."""
+
+    @abstractmethod
+    def collect(
+        self, plan: Optional[Iterable[Tuple[str, str]]] = None
+    ) -> Dict[Tuple[str, str], Dict[str, Any]]:
+        """Run the observer's query flow; returns reports keyed by
+        ``(component, level)``.  Default plan: all levels of all attached
+        components."""
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Terminate observation services and release the platform."""
+
+    def run(self, app: Application) -> None:
+        """deploy + start + wait (the common happy path)."""
+        self.deploy(app)
+        self.start()
+        self.wait()
+
+    # -- dynamic reconfiguration ---------------------------------------------
+
+    def add_component(
+        self,
+        component: Component,
+        connections: Iterable[Tuple[Any, str, Any, str]] = (),
+        observe: bool = False,
+    ):
+        """Create and launch a component while the application runs.
+
+        The paper's control interface covers "component creation,
+        component interconnection and component life-cycle management";
+        this is those operations applied after deployment -- the Fractal
+        reconfiguration heritage.  ``connections`` is a list of
+        ``(src, required_name, dst, provided_name)`` to establish (source
+        required interfaces are created on demand); ``observe=True`` also
+        wires the component to the application's observer.
+
+        Returns the new component's container.
+        """
+        if self.app is None:
+            raise RuntimeError_("deploy() an application before reconfiguring it")
+        self.app.add_dynamic(component)
+        policy = component.placement.get("observation_policy", self.observation_policy)
+        cont = ComponentContainer(component, ObservationProbe(component, policy=policy))
+        self.containers[component.name] = cont
+        self._deploy_dynamic(cont)
+        for src, req_name, dst, prov_name in connections:
+            self.connect_live(src, req_name, dst, prov_name)
+        if observe:
+            observer = self.app.observer
+            if observer is None:
+                raise RuntimeError_("observe=True but the application has no observer")
+            from repro.core.interfaces import OBSERVATION_INTERFACE
+            from repro.core.observer import REPORTS_INTERFACE
+
+            req_name = observer.register_target(component, dynamic=True)
+            observer.get_required(req_name).connect(
+                component.get_provided(OBSERVATION_INTERFACE)
+            )
+            component.get_required(OBSERVATION_INTERFACE).connect(
+                observer.get_provided(REPORTS_INTERFACE)
+            )
+        self._start_dynamic(cont)
+        return cont
+
+    def connect_live(self, src, required_name: str, dst, provided_name: str) -> None:
+        """Establish a connection at run time; the source's required
+        interface is created on demand (pointer semantics make live
+        connection safe: messages sent after this call flow through)."""
+        if self.app is None:
+            raise RuntimeError_("no deployed application")
+        source = self.app._resolve(src)
+        target = self.app._resolve(dst)
+        if required_name not in source.required:
+            source.add_required(required_name, dynamic=True)
+        source.get_required(required_name).connect(target.get_provided(provided_name))
+
+    def rebind(self, src, required_name: str, dst, provided_name: str) -> None:
+        """Re-point an existing required interface at a new provided
+        interface.  Messages already delivered stay where they are."""
+        if self.app is None:
+            raise RuntimeError_("no deployed application")
+        source = self.app._resolve(src)
+        target = self.app._resolve(dst)
+        req = source.get_required(required_name)
+        req.disconnect()
+        req.connect(target.get_provided(provided_name))
+
+    def _deploy_dynamic(self, cont: ComponentContainer) -> None:
+        raise NotImplementedError(f"{type(self).__name__} does not support reconfiguration")
+
+    def _start_dynamic(self, cont: ComponentContainer) -> None:
+        raise NotImplementedError(f"{type(self).__name__} does not support reconfiguration")
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def _register(self, app: Application) -> None:
+        if self.app is not None:
+            raise RuntimeError_("runtime already has a deployed application")
+        app.seal()
+        self.app = app
+        for comp in app.components.values():
+            policy = comp.placement.get("observation_policy", self.observation_policy)
+            self.containers[comp.name] = ComponentContainer(
+                comp, ObservationProbe(comp, policy=policy)
+            )
+
+    def container(self, name: str) -> ComponentContainer:
+        """The deployment container of a component (by name)."""
+        try:
+            return self.containers[name]
+        except KeyError:
+            raise RuntimeError_(f"no deployed component {name!r}") from None
+
+    def probe(self, name: str) -> ObservationProbe:
+        """The observation probe of a component (by name)."""
+        return self.container(name).probe
+
+    def _default_plan(self) -> List[Tuple[str, str]]:
+        if self.app is None or self.app.observer is None:
+            raise RuntimeError_("no observer attached; call app.attach_observer() before deploy")
+        return [(t, level) for t in self.app.observer.targets for level in LEVELS]
+
+    def _mark_running(self, comp: Component) -> None:
+        comp.state = ComponentState.RUNNING
+
+    def _mark_stopped(self, comp: Component, failed: bool = False) -> None:
+        comp.state = ComponentState.FAILED if failed else ComponentState.STOPPED

@@ -1,0 +1,621 @@
+"""Simulated runtimes: EMBera over the modelled platforms.
+
+:class:`SmpSimRuntime` reproduces the paper's Linux implementation
+(section 4): an EMBera application is a Linux user process, a component
+is a data structure plus a POSIX thread, a provided interface is a FIFO
+mailbox in the process address space, and a connection is a pointer.
+
+:class:`Sti7200SimRuntime` reproduces the OS21 implementation
+(section 5): a component is an OS21 task pinned to one CPU ("the current
+implementation supports one component per CPU"), a provided interface is
+an EMBX distributed object in shared SDRAM, and send/receive map to
+``EMBX_Send`` / ``EMBX_Receive``.
+
+Observation fidelity notes
+--------------------------
+- Observation interfaces ride a runtime-owned control channel (not the
+  data transports).  This matches the paper's memory accounting: Fetch
+  shows a bare 8 392 kB stack and IDCT shows exactly one 25 kB
+  distributed object, so the default ``introspection`` pair cannot be
+  consuming mailbox/EMBX memory.
+- The OS-level execution-time answer differs per platform exactly as in
+  the paper: gettimeofday wall time on Linux (Table 1) vs ``task_time``
+  CPU time on OS21 (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.core.application import Application
+from repro.core.component import Component
+from repro.core.context import ComponentContext
+from repro.core.messages import CONTROL, Message
+from repro.core.observation import ObservationProbe, observation_service_behavior
+from repro.core.observer import ObserverComponent
+from repro.embx.transport import DEFAULT_OBJECT_BYTES, EmbxTransport
+from repro.hw.platform import Platform
+from repro.hw.smp16 import make_smp16
+from repro.hw.sti7200 import make_sti7200
+from repro.oslinux.system import DEFAULT_STACK_BYTES, LinuxSystem
+from repro.os21.system import DEFAULT_TASK_BYTES, OS21System
+from repro.runtime.base import ComponentContainer, Runtime, RuntimeError_
+from repro.sim.executor import Compute, DONE
+from repro.sim.kernel import Kernel
+from repro.sim.resources import Channel
+
+#: Cost charged (per op) for the runtime-owned observation channel.
+OBS_CHANNEL_SYSCALLS = 1
+
+
+class SimMailbox:
+    """The Linux-implementation provided-interface binding: a FIFO plus
+    the NUMA node its buffer lives on."""
+
+    __slots__ = ("channel", "node", "capacity_bytes", "written_bytes", "base_addr")
+
+    def __init__(self, channel: Channel, node: int, capacity_bytes: int, base_addr: int) -> None:
+        self.channel = channel
+        self.node = node
+        self.capacity_bytes = capacity_bytes
+        self.written_bytes = 0
+        self.base_addr = base_addr
+
+
+class SimContext(ComponentContext):
+    """Component context over a simulated platform."""
+
+    def __init__(
+        self,
+        component: Component,
+        probe: Optional[ObservationProbe],
+        runtime: "SimRuntime",
+        clock_offset_ns: int = 0,
+    ) -> None:
+        super().__init__(component, probe)
+        self.runtime = runtime
+        self.clock_offset_ns = clock_offset_ns
+
+    def now_ns(self) -> int:
+        """Current platform time in nanoseconds."""
+        return self.runtime.kernel.now + self.clock_offset_ns
+
+    def compute(self, opclass: str, units: float) -> Generator:
+        """Declare computational work (see ComponentContext.compute)."""
+        yield Compute(opclass, units)
+
+    def _transfer(self, target, message: Message) -> Generator:
+        yield from self.runtime._transfer(self.component, target, message)
+
+    def _receive_from(self, provided) -> Generator:
+        message = yield from self.runtime._receive(self.component, provided)
+        return message
+
+    def _try_receive_from(self, provided):
+        return self.runtime._try_receive(provided)
+
+    def _alloc(self, nbytes: int, label: str):
+        return self.runtime._component_alloc(self.component, nbytes, label)
+
+    def _free(self, handle) -> int:
+        return self.runtime._component_free(self.component, handle)
+
+    def log(self, text: str) -> None:
+        """Record a debug line in the runtime's log buffer."""
+        self.runtime.logs.append((self.runtime.kernel.now, self.component.name, text))
+
+
+class SimRuntime(Runtime):
+    """Shared machinery for both simulated platforms."""
+
+    def __init__(self, kernel: Optional[Kernel] = None) -> None:
+        super().__init__()
+        self.kernel = kernel or Kernel()
+        self.logs: List[Tuple[int, str, str]] = []
+        self.makespan_ns: Optional[int] = None
+        self._fake_addr = 1 << 20  # synthetic address space for cache modelling
+
+    # -- subclass hooks ----------------------------------------------------------
+
+    def _bind_component(self, cont: ComponentContainer) -> None:
+        raise NotImplementedError
+
+    def _spawn_behavior(self, cont: ComponentContainer) -> None:
+        raise NotImplementedError
+
+    def _spawn_flow(self, body: Generator, name: str, cont: ComponentContainer):
+        """Spawn an infrastructure flow (observation service / observer
+        query) that must not appear in the platform's memory accounting."""
+        raise NotImplementedError
+
+    def _engine(self):
+        raise NotImplementedError
+
+    def _transfer(self, src: Component, target, message: Message) -> Generator:
+        raise NotImplementedError
+
+    def _os_adapter(self, cont: ComponentContainer):
+        raise NotImplementedError
+
+    def _clock_offset_for(self, cont: ComponentContainer) -> int:
+        return 0
+
+    # -- shared transport paths -----------------------------------------------------
+
+    def _transfer_observation(self, target, message: Message) -> Generator:
+        """Runtime-owned control channel: cheap, platform-independent."""
+        yield Compute("syscall", OBS_CHANNEL_SYSCALLS)
+        target.binding.put(message)
+
+    def _receive(self, dst: Component, provided) -> Generator:
+        binding = provided.binding
+        if binding is None:
+            raise RuntimeError_(f"interface {provided.qualified_name} has no binding")
+        if isinstance(binding, Channel):  # observation channel
+            message = yield from binding.get()
+            yield Compute("syscall", OBS_CHANNEL_SYSCALLS)
+            return message
+        message = yield from self._receive_data(dst, provided)
+        return message
+
+    def _receive_data(self, dst: Component, provided) -> Generator:
+        raise NotImplementedError
+
+    def _try_receive(self, provided):
+        binding = provided.binding
+        queue = binding if isinstance(binding, Channel) else self._data_queue(provided)
+        ok, message = queue.try_get()
+        return message if ok else None
+
+    def _data_queue(self, provided) -> Channel:
+        raise NotImplementedError
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def deploy(self, app: Application) -> None:
+        """Bind interfaces, build contexts and adapters."""
+        self._register(app)
+        for cont in self.containers.values():
+            self._bind_component(cont)
+        for cont in self.containers.values():
+            offset = self._clock_offset_for(cont)
+            cont.context = SimContext(cont.component, cont.probe, self, offset)
+            cont.service_context = SimContext(cont.component, None, self, offset)
+            cont.probe.os_adapter = self._os_adapter(cont)
+            cont.probe.middleware_adapter = self._mw_adapter(cont)
+
+    def start(self) -> None:
+        """Launch every component's behaviour and observation service."""
+        if self.app is None:
+            raise RuntimeError_("deploy() an application first")
+        for cont in self.containers.values():
+            if isinstance(cont.component, ObserverComponent):
+                continue  # observer flows are spawned on demand by collect()
+            self._launch(cont)
+        # The observer still needs its service-side channel bindings even
+        # though its behaviour is query-driven.
+
+    def _launch(self, cont: ComponentContainer) -> None:
+        self._spawn_behavior(cont)
+        cont.service_handle = self._spawn_flow(
+            observation_service_behavior(cont.service_context, cont.probe),
+            name=f"{cont.component.name}.obsvc",
+            cont=cont,
+        )
+
+    # -- dynamic reconfiguration ---------------------------------------------------
+
+    def _deploy_dynamic(self, cont: ComponentContainer) -> None:
+        self._bind_component(cont)
+        offset = self._clock_offset_for(cont)
+        cont.context = SimContext(cont.component, cont.probe, self, offset)
+        cont.service_context = SimContext(cont.component, None, self, offset)
+        cont.probe.os_adapter = self._os_adapter(cont)
+        cont.probe.middleware_adapter = self._mw_adapter(cont)
+
+    def _start_dynamic(self, cont: ComponentContainer) -> None:
+        self._launch(cont)
+
+    def spawn_controller(self, fn, name: str = "controller"):
+        """Run a reconfiguration/monitoring flow inside the simulation.
+
+        ``fn(runtime, observer_ctx)`` must be a generator: it may sleep
+        (``yield Timeout(ns)``), collect observations
+        (``yield from observer.collect(observer_ctx, plan)``) and call
+        :meth:`add_component` / :meth:`rebind` synchronously -- the
+        observer-in-the-loop adaptation the paper's observation data
+        enables.  Returns the flow handle (``.result`` after ``wait()``).
+        """
+        if self.app is None or self.app.observer is None:
+            raise RuntimeError_("controllers need a deployed app with an observer")
+        cont = self.container(self.app.observer.name)
+        return self._spawn_flow(fn(self, cont.context), name=name, cont=cont)
+
+    def _wrap_behavior(self, cont: ComponentContainer) -> Generator:
+        component, probe, ctx = cont.component, cont.probe, cont.context
+        probe.started_at_us = ctx.now_us()
+        self._mark_running(component)
+        try:
+            result = yield from component.behavior(ctx)
+        except BaseException:
+            probe.ended_at_us = ctx.now_us()
+            self._mark_stopped(component, failed=True)
+            raise
+        probe.ended_at_us = ctx.now_us()
+        self._mark_stopped(component)
+        return result
+
+    def wait(self) -> None:
+        """Run/block until all functional behaviours finish."""
+        self.kernel.run()
+        self.makespan_ns = self.kernel.now
+        stuck = [
+            cont.component.name
+            for cont in self.containers.values()
+            if cont.handle is not None and cont.handle.state != DONE
+        ]
+        if stuck:
+            states = {
+                name: self.containers[name].handle.state for name in stuck
+            }
+            raise RuntimeError_(f"components did not finish: {states}")
+
+    def collect(
+        self, plan: Optional[Iterable[Tuple[str, str]]] = None
+    ) -> Dict[Tuple[str, str], Dict[str, Any]]:
+        """Run the observer's query flow; returns keyed reports."""
+        if self.app is None or self.app.observer is None:
+            raise RuntimeError_("no observer attached to the application")
+        observer = self.app.observer
+        cont = self.container(observer.name)
+        plan = list(plan) if plan is not None else self._default_plan()
+        flow = observer.collect(cont.context, plan)
+        handle = self._spawn_flow(flow, name=f"{observer.name}.query", cont=cont)
+        self.kernel.run()
+        if handle.state != DONE:
+            raise RuntimeError_(f"observer query flow stuck in state {handle.state}")
+        return handle.result
+
+    def schedule_collect(self, delay_ns: int, plan: Optional[Iterable[Tuple[str, str]]] = None):
+        """Schedule an observation sweep at a *virtual* instant.
+
+        Call between ``deploy()`` and ``wait()``.  Returns the query-flow
+        handle; after ``wait()`` its ``result`` is ``(time_ns, reports)``
+        with the mid-run snapshot the observer gathered -- the on-line
+        monitoring use-case of the paper's dynamic-configuration
+        discussion (section 4.4).
+        """
+        if self.app is None or self.app.observer is None:
+            raise RuntimeError_("no observer attached to the application")
+        observer = self.app.observer
+        cont = self.container(observer.name)
+        plan = list(plan) if plan is not None else self._default_plan()
+
+        def flow():
+            """The scheduled observation query flow."""
+            from repro.sim.process import Timeout
+
+            yield Timeout(delay_ns)
+            reports = yield from observer.collect(cont.context, plan)
+            return (self.kernel.now, reports)
+
+        return self._spawn_flow(flow(), name=f"{observer.name}.query@{delay_ns}", cont=cont)
+
+    def stop(self) -> None:
+        """Shut down observation services and release the platform."""
+        for cont in self.containers.values():
+            if cont.service_handle is not None and cont.service_handle.alive:
+                obs = cont.component.provided.get("introspection")
+                if obs is not None and isinstance(obs.binding, Channel):
+                    obs.binding.put(Message(payload=None, kind=CONTROL, tag="shutdown"))
+        self._engine().shutdown()
+        self.kernel.run()
+
+    # -- shared binding helpers ---------------------------------------------------------
+
+    def _mw_adapter(self, cont: ComponentContainer):
+        """Middleware extras: live inbound queue depths per provided
+        interface -- the backlog signal adaptation controllers key on."""
+
+        def extras() -> Dict[str, Any]:
+            """Runtime-provided middleware extras (queue depths)."""
+            depths = {}
+            for prov in cont.component.provided.values():
+                if prov.is_observation or prov.binding is None:
+                    continue
+                depths[prov.name] = len(self._data_queue(prov))
+            return {"queue_depths": depths}
+
+        return extras
+
+    # -- component heap (memory-evolution extension) ----------------------------
+
+    def _heap_region(self, cont: ComponentContainer):
+        raise NotImplementedError
+
+    def _component_alloc(self, component: Component, nbytes: int, label: str):
+        cont = self.container(component.name)
+        region = self._heap_region(cont)
+        handle = region.alloc(
+            nbytes, label=f"{component.name}:{label}", time_ns=self.kernel.now
+        )
+        heap = cont.extra.setdefault("heap", {})
+        heap[handle] = (region, nbytes)
+        return handle
+
+    def _component_free(self, component: Component, handle) -> int:
+        cont = self.container(component.name)
+        heap = cont.extra.get("heap", {})
+        try:
+            region, nbytes = heap.pop(handle)
+        except KeyError:
+            raise RuntimeError_(
+                f"{component.name!r} freed unknown heap handle {handle!r}"
+            ) from None
+        region.free(handle, time_ns=self.kernel.now)
+        return nbytes
+
+    def _bind_observation_channels(self, cont: ComponentContainer) -> None:
+        for prov in cont.component.provided.values():
+            if prov.is_observation and prov.binding is None:
+                prov.binding = Channel(self.kernel, name=f"obs.{prov.qualified_name}")
+
+    def _next_fake_addr(self, nbytes: int) -> int:
+        addr = self._fake_addr
+        self._fake_addr += max(nbytes, 64)
+        return addr
+
+
+class SmpSimRuntime(SimRuntime):
+    """EMBera over the simulated 16-core Linux NUMA SMP."""
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        kernel: Optional[Kernel] = None,
+        quantum_ns: int = 4_000_000,
+    ) -> None:
+        super().__init__(kernel)
+        self.platform = platform or make_smp16()
+        self.system = LinuxSystem(self.kernel, self.platform, quantum_ns=quantum_ns)
+        self.process = self.system.spawn_process("embera")
+        self._next_core = 0
+
+    def _engine(self):
+        return self.system.engine
+
+    # -- deployment ------------------------------------------------------------
+
+    def _assign_core(self, cont: ComponentContainer) -> int:
+        core = cont.component.placement.get("core")
+        if core is None:
+            core = self._next_core % self.platform.n_cores
+            self._next_core += 1
+        cont.extra["core"] = core
+        cont.extra["node"] = self.platform.node_of_core(core)
+        return core
+
+    def _bind_component(self, cont: ComponentContainer) -> None:
+        self._assign_core(cont)
+        self._bind_observation_channels(cont)
+        node = cont.extra["node"]
+        for prov in cont.component.provided.values():
+            if prov.is_observation:
+                continue
+            self.process.malloc(
+                prov.mailbox_bytes, label=f"{prov.qualified_name}:mailbox", node=node
+            )
+            prov.binding = SimMailbox(
+                Channel(self.kernel, name=f"mbox.{prov.qualified_name}"),
+                node=node,
+                capacity_bytes=prov.mailbox_bytes,
+                base_addr=self._next_fake_addr(prov.mailbox_bytes),
+            )
+
+    def _spawn_behavior(self, cont: ComponentContainer) -> None:
+        stack = cont.component.placement.get("stack_bytes", DEFAULT_STACK_BYTES)
+        thread = self.process.pthread_create(
+            self._wrap_behavior(cont),
+            name=cont.component.name,
+            stack_bytes=stack,
+            affinity=[cont.extra["core"]],
+        )
+        cont.handle = thread.sched
+        cont.extra["pthread"] = thread
+
+    def _spawn_flow(self, body: Generator, name: str, cont: ComponentContainer):
+        # Infrastructure flows bypass pthread accounting (no stack charge).
+        return self.system.engine.spawn(body, name=name)
+
+    # -- transport ------------------------------------------------------------------
+
+    def _transfer(self, src: Component, target, message: Message) -> Generator:
+        if target.is_observation:
+            yield from self._transfer_observation(target, message)
+            return
+        mailbox: SimMailbox = target.binding
+        src_core = self.containers[src.name].extra["core"]
+        factor = self.platform.copy_factor(src_core, mailbox.node)
+        yield Compute("syscall", 1)
+        yield Compute("memcpy_byte", message.size_bytes * factor)
+        cache = self.platform.cache_of_core(src_core)
+        if cache is not None:
+            offset = mailbox.written_bytes % max(mailbox.capacity_bytes, 1)
+            cache.access_range(mailbox.base_addr + offset, message.size_bytes)
+        mailbox.written_bytes += message.size_bytes
+        mailbox.channel.put(message)
+
+    def _receive_data(self, dst: Component, provided) -> Generator:
+        mailbox: SimMailbox = provided.binding
+        message = yield from mailbox.channel.get()
+        # The receiver copies the message out of the mailbox; the mailbox
+        # is homed on the receiver's node, so no NUMA factor applies.
+        yield Compute("memcpy_byte", message.size_bytes)
+        dst_core = self.containers[dst.name].extra["core"]
+        cache = self.platform.cache_of_core(dst_core)
+        if cache is not None:
+            cache.access_range(mailbox.base_addr, message.size_bytes)
+        return message
+
+    def _data_queue(self, provided) -> Channel:
+        return provided.binding.channel
+
+    def _heap_region(self, cont: ComponentContainer):
+        return self.system.node_region(cont.extra["node"])
+
+    # -- observation adapters --------------------------------------------------------
+
+    def _os_adapter(self, cont: ComponentContainer):
+        def report() -> Dict[str, Any]:
+            """Build the report dict for one observation level."""
+            comp = cont.component
+            probe = cont.probe
+            data: Dict[str, Any] = {}
+            if probe.started_at_us is not None and probe.ended_at_us is not None:
+                # gettimeofday wall-clock semantics (paper section 4.2).
+                data["exec_time_us"] = probe.ended_at_us - probe.started_at_us
+            thread = cont.extra.get("pthread")
+            stack = thread.attr_getstacksize() if thread is not None else 0
+            iface = comp.interface_bytes()
+            data["stack_bytes"] = stack
+            data["interface_bytes"] = iface
+            data["memory_kb"] = (stack + iface) / 1024
+            if cont.handle is not None:
+                data["cpu_time_us"] = cont.handle.cpu_time_ns // 1_000
+            core = cont.extra.get("core")
+            cache = self.platform.cache_of_core(core) if core is not None else None
+            if cache is not None:
+                data["cache"] = cache.stats.snapshot()
+            return data
+
+        return report
+
+
+class Sti7200SimRuntime(SimRuntime):
+    """EMBera over the simulated STi7200 running OS21 + EMBX."""
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        kernel: Optional[Kernel] = None,
+        quantum_ns: int = 1_000_000,
+        enforce_one_component_per_cpu: bool = True,
+    ) -> None:
+        super().__init__(kernel)
+        self.platform = platform or make_sti7200()
+        self.system = OS21System(self.kernel, self.platform, quantum_ns=quantum_ns)
+        self.embx = EmbxTransport(self.kernel, self.platform.region("sdram"))
+        self.enforce_one_component_per_cpu = enforce_one_component_per_cpu
+        self._cpu_owner: Dict[int, str] = {}
+
+    def _engine(self):
+        return self.system.engine
+
+    # -- deployment -------------------------------------------------------------
+
+    def _assign_cpu(self, cont: ComponentContainer) -> int:
+        comp = cont.component
+        if isinstance(comp, ObserverComponent):
+            cpu = comp.placement.get("cpu", 0)  # observer rides the ST40
+        else:
+            cpu = comp.placement.get("cpu")
+            if cpu is None:
+                raise RuntimeError_(
+                    f"component {comp.name!r} needs a cpu placement on sti7200 "
+                    "(one binary per CPU); use comp.place(cpu=N)"
+                )
+            if self.enforce_one_component_per_cpu and cpu in self._cpu_owner:
+                raise RuntimeError_(
+                    f"cpu {cpu} already runs {self._cpu_owner[cpu]!r}: the OS21 "
+                    "implementation supports one component per CPU"
+                )
+            self._cpu_owner[cpu] = comp.name
+        if not 0 <= cpu < self.platform.n_cores:
+            raise RuntimeError_(f"no cpu {cpu} on {self.platform.name}")
+        cont.extra["cpu"] = cpu
+        return cpu
+
+    def _bind_component(self, cont: ComponentContainer) -> None:
+        self._assign_cpu(cont)
+        self._bind_observation_channels(cont)
+        cpu = cont.extra["cpu"]
+        for prov in cont.component.provided.values():
+            if prov.is_observation:
+                continue
+            size = cont.component.placement.get("object_bytes", DEFAULT_OBJECT_BYTES)
+            prov.binding = self.embx.create_object(
+                prov.qualified_name, owner_cpu=cpu, size_bytes=size
+            )
+
+    def _spawn_behavior(self, cont: ComponentContainer) -> None:
+        comp = cont.component
+        task = self.system.task_create(
+            self._wrap_behavior(cont),
+            name=comp.name,
+            cpu=cont.extra["cpu"],
+            priority=comp.placement.get("priority", 5),
+            task_bytes=comp.placement.get("task_bytes", DEFAULT_TASK_BYTES),
+        )
+        cont.handle = task.sched
+        cont.extra["task"] = task
+
+    def _spawn_flow(self, body: Generator, name: str, cont: ComponentContainer):
+        # Observation flows share the component's CPU at lower priority so
+        # they never perturb the behaviour's schedule; the observer query
+        # flow runs at high priority to drain replies promptly.
+        cpu = cont.extra.get("cpu", 0)
+        priority = 9 if isinstance(cont.component, ObserverComponent) else 1
+        return self.system.engine.spawn(body, name=name, priority=priority, affinity=[cpu])
+
+    def _clock_offset_for(self, cont: ComponentContainer) -> int:
+        # time_now is per-CPU local time (paper section 5.2).
+        return self.system.clock_offsets_ns[cont.extra.get("cpu", 0)]
+
+    # -- transport -----------------------------------------------------------------
+
+    def _transfer(self, src: Component, target, message: Message) -> Generator:
+        if target.is_observation:
+            yield from self._transfer_observation(target, message)
+            return
+        yield from self.embx.send(target.binding, message, nbytes=message.size_bytes)
+
+    def _receive_data(self, dst: Component, provided) -> Generator:
+        payload, _nbytes = yield from self.embx.receive(provided.binding)
+        return payload
+
+    def _data_queue(self, provided) -> Channel:
+        return provided.binding.queue
+
+    def _heap_region(self, cont: ComponentContainer):
+        # Tasks allocate from their CPU's local memory: ST231s from their
+        # 1 MB SRAM (so oversized allocations fail realistically), the
+        # ST40 from SDRAM.
+        return self.system.local_region_of_cpu(cont.extra["cpu"])
+
+    # -- observation adapters ----------------------------------------------------------
+
+    def _os_adapter(self, cont: ComponentContainer):
+        def report() -> Dict[str, Any]:
+            """Build the report dict for one observation level."""
+            comp = cont.component
+            data: Dict[str, Any] = {}
+            task = cont.extra.get("task")
+            if task is not None:
+                # OS21 task_time: CPU time, not wall time (Table 3).
+                data["exec_time_us"] = self.system.task_time_us(task)
+                data["task_bytes"] = task.task_bytes
+            objects = sum(
+                p.binding.size_bytes
+                for p in comp.provided.values()
+                if not p.is_observation and p.binding is not None
+            )
+            data["object_bytes"] = objects
+            data["memory_kb"] = (data.get("task_bytes", 0) + objects) / 1024
+            if cont.handle is not None:
+                data["cpu_time_us"] = cont.handle.cpu_time_ns // 1_000
+            cpu = cont.extra.get("cpu")
+            if cpu is not None:
+                data["interrupts"] = self.embx.interrupts_by_cpu.get(cpu, 0)
+            return data
+
+        return report

@@ -1,0 +1,45 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel (:class:`~repro.sim.kernel.Kernel`) keeps integer-nanosecond
+virtual time and a binary-heap event queue.  Concurrency is expressed with
+generator-based *processes* (:class:`~repro.sim.process.Process`) that yield
+:class:`~repro.sim.process.Command` objects -- ``Timeout`` to advance time,
+``WaitEvent`` to block on a one-shot :class:`~repro.sim.events.Event`.
+
+Synchronisation primitives built on top of events live in
+:mod:`repro.sim.resources` (semaphores, mutexes, FIFO channels).
+All randomness flows through :mod:`repro.sim.rng` seeded streams so every
+simulation run is bit-for-bit reproducible.
+"""
+
+from repro.sim.clock import MICROSECOND, MILLISECOND, NANOSECOND, SECOND, ns_to_s, ns_to_us, s_to_ns, us_to_ns
+from repro.sim.errors import SimulationError, DeadlockError, ProcessKilled
+from repro.sim.events import Event
+from repro.sim.kernel import Kernel
+from repro.sim.process import Command, Process, Timeout, WaitEvent
+from repro.sim.resources import Channel, Mutex, Semaphore
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Channel",
+    "Command",
+    "DeadlockError",
+    "Event",
+    "Kernel",
+    "MICROSECOND",
+    "MILLISECOND",
+    "Mutex",
+    "NANOSECOND",
+    "Process",
+    "ProcessKilled",
+    "RngRegistry",
+    "SECOND",
+    "Semaphore",
+    "SimulationError",
+    "Timeout",
+    "WaitEvent",
+    "ns_to_s",
+    "ns_to_us",
+    "s_to_ns",
+    "us_to_ns",
+]

@@ -1,0 +1,124 @@
+"""The discrete-event kernel: a clock plus a heap of timestamped callbacks.
+
+The kernel is intentionally minimal -- processes, events and resources are
+layered on top of ``schedule_at`` / ``run``.  Determinism contract: events
+with equal timestamps fire in scheduling order (FIFO tie-break via a
+monotonically increasing sequence number).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.errors import DeadlockError, SchedulingError
+
+
+class EventHandle:
+    """Cancellable handle for a scheduled callback."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time} seq={self.seq} {state}>"
+
+
+class Kernel:
+    """Discrete-event simulation kernel with integer-nanosecond time.
+
+    Usage::
+
+        k = Kernel()
+        k.schedule(1000, print, "fires at t=1000ns")
+        k.run()
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._heap: list[EventHandle] = []
+        self._live_processes: int = 0  # maintained by Process
+        self.events_executed: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def schedule(self, delay_ns: int, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SchedulingError(f"negative delay: {delay_ns}")
+        return self.schedule_at(self._now + int(delay_ns), callback, *args)
+
+    def schedule_at(self, time_ns: int, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
+        if time_ns < self._now:
+            raise SchedulingError(f"cannot schedule in the past: {time_ns} < {self._now}")
+        handle = EventHandle(int(time_ns), self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled scheduled callbacks."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next pending event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when idle."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            self.events_executed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``
+        have fired.  Returns the final simulated time.
+
+        Raises :class:`DeadlockError` if the queue drains while registered
+        processes are still alive (everybody blocked on events that nobody
+        can trigger).
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            nxt = self.peek()
+            if nxt is None:
+                if self._live_processes > 0:
+                    raise DeadlockError(
+                        f"no pending events but {self._live_processes} process(es) still alive"
+                    )
+                break
+            if until is not None and nxt > until:
+                self._now = until
+                break
+            self.step()
+            executed += 1
+        return self._now

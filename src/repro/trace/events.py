@@ -1,0 +1,60 @@
+"""Trace event records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+BEGIN = "B"
+INSTANT = "I"
+END = "E"
+
+_PHASES = (BEGIN, INSTANT, END)
+
+
+@dataclass(frozen=True, order=True)
+class TraceEvent:
+    """One timestamped event.
+
+    Ordering is by timestamp then sequence, so merged multi-component
+    traces sort into a coherent global timeline.
+    """
+
+    timestamp_ns: int
+    seq: int
+    component: str = field(compare=False)
+    category: str = field(compare=False)  # e.g. "middleware", "lifecycle"
+    name: str = field(compare=False)      # e.g. "send", "receive", "compute"
+    phase: str = field(compare=False, default=INSTANT)
+    args: Dict[str, Any] = field(compare=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.phase not in _PHASES:
+            raise ValueError(f"unknown phase {self.phase!r}; expected one of {_PHASES}")
+        if self.timestamp_ns < 0:
+            raise ValueError(f"negative timestamp {self.timestamp_ns}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict form."""
+        return {
+            "ts": self.timestamp_ns,
+            "seq": self.seq,
+            "comp": self.component,
+            "cat": self.category,
+            "name": self.name,
+            "ph": self.phase,
+            "args": self.args,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TraceEvent":
+        """Inverse of ``to_dict``."""
+        return cls(
+            timestamp_ns=d["ts"],
+            seq=d["seq"],
+            component=d["comp"],
+            category=d["cat"],
+            name=d["name"],
+            phase=d["ph"],
+            args=dict(d.get("args", {})),
+        )

@@ -1,0 +1,144 @@
+"""Tracers, ring buffers and the tracing context wrapper."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Generator, Iterable, List, Optional
+
+from repro.trace.events import BEGIN, END, INSTANT, TraceEvent
+
+
+class TraceBuffer:
+    """A bounded ring buffer of events shared by several tracers.
+
+    Embedded targets cannot keep unbounded traces; when full, the oldest
+    events are dropped and counted, so analyses can report truncation
+    instead of silently lying.
+    """
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self.dropped = 0
+        self._seq = 0
+
+    def append(self, event: TraceEvent) -> None:
+        """Add an event, dropping the oldest when full."""
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def next_seq(self) -> int:
+        """Next global sequence number."""
+        self._seq += 1
+        return self._seq
+
+    def events(self) -> List[TraceEvent]:
+        """All buffered events (oldest first)."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        """Drop all events and reset the dropped counter."""
+        self._events.clear()
+        self.dropped = 0
+
+
+class Tracer:
+    """Per-component event emitter."""
+
+    __slots__ = ("buffer", "component", "clock")
+
+    def __init__(self, buffer: TraceBuffer, component: str, clock) -> None:
+        self.buffer = buffer
+        self.component = component
+        self.clock = clock  # zero-arg callable -> ns
+
+    def emit(
+        self,
+        category: str,
+        name: str,
+        phase: str = INSTANT,
+        **args: Any,
+    ) -> TraceEvent:
+        """Record one event stamped with the clock and sequence."""
+        event = TraceEvent(
+            timestamp_ns=self.clock(),
+            seq=self.buffer.next_seq(),
+            component=self.component,
+            category=category,
+            name=name,
+            phase=phase,
+            args=args,
+        )
+        self.buffer.append(event)
+        return event
+
+
+class TracingContext:
+    """Wraps a runtime context, tracing sends/receives/computes.
+
+    Installed by :func:`enable_tracing` between ``deploy`` and ``start``;
+    behaviour code is -- as always -- untouched.
+    """
+
+    def __init__(self, delegate, tracer: Tracer) -> None:
+        self._delegate = delegate
+        self._tracer = tracer
+
+    # Everything not traced is forwarded untouched.
+    def __getattr__(self, item):
+        return getattr(self._delegate, item)
+
+    def send(self, required_name: str, payload, kind: str = "data", tag: str = "", size_bytes: int = -1) -> Generator:
+        """Traced send: BEGIN/END events around the delegate call."""
+        self._tracer.emit("middleware", "send", BEGIN, iface=required_name, kind=kind, tag=tag)
+        try:
+            yield from self._delegate.send(required_name, payload, kind=kind, tag=tag, size_bytes=size_bytes)
+        finally:
+            self._tracer.emit("middleware", "send", END, iface=required_name)
+
+    def receive(self, provided_name: str) -> Generator:
+        """Traced receive: BEGIN/END events around the delegate call."""
+        self._tracer.emit("middleware", "receive", BEGIN, iface=provided_name)
+        try:
+            message = yield from self._delegate.receive(provided_name)
+        finally:
+            self._tracer.emit("middleware", "receive", END, iface=provided_name)
+        return message
+
+    def deposit(self, provided_name: str, payload, kind: str = "data", tag: str = "") -> Generator:
+        """Traced deposit: BEGIN/END events around the delegate call."""
+        self._tracer.emit("middleware", "deposit", BEGIN, iface=provided_name)
+        try:
+            yield from self._delegate.deposit(provided_name, payload, kind=kind, tag=tag)
+        finally:
+            self._tracer.emit("middleware", "deposit", END, iface=provided_name)
+
+    def compute(self, opclass: str, units: float) -> Generator:
+        """Declare computational work (see ComponentContext.compute)."""
+        self._tracer.emit("compute", opclass, BEGIN, units=units)
+        try:
+            yield from self._delegate.compute(opclass, units)
+        finally:
+            self._tracer.emit("compute", opclass, END)
+
+
+def enable_tracing(runtime, buffer: Optional[TraceBuffer] = None) -> TraceBuffer:
+    """Install tracing contexts on every deployed component.
+
+    Call after ``runtime.deploy(app)`` and before ``runtime.start()``.
+    Returns the buffer collecting the events.
+    """
+    buffer = buffer or TraceBuffer()
+    for cont in runtime.containers.values():
+        if cont.context is None:
+            raise RuntimeError("enable_tracing requires a deployed application")
+        tracer = Tracer(buffer, cont.component.name, cont.context.now_ns)
+        cont.context = TracingContext(cont.context, tracer)
+        cont.extra["tracer"] = tracer
+    return buffer

@@ -1,0 +1,56 @@
+"""Trace serialisation: JSONL and CSV."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.trace.events import TraceEvent
+
+PathLike = Union[str, Path]
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: PathLike) -> int:
+    """Write one JSON object per line; returns the event count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_dict(), separators=(",", ":")))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: PathLike) -> List[TraceEvent]:
+    """Load events written by :func:`write_jsonl`."""
+    out: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(TraceEvent.from_dict(json.loads(line)))
+    return out
+
+
+def write_csv(events: Iterable[TraceEvent], path: PathLike) -> int:
+    """Flat CSV export (args serialised as JSON in the last column)."""
+    n = 0
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["timestamp_ns", "seq", "component", "category", "name", "phase", "args"])
+        for event in events:
+            writer.writerow(
+                [
+                    event.timestamp_ns,
+                    event.seq,
+                    event.component,
+                    event.category,
+                    event.name,
+                    event.phase,
+                    json.dumps(event.args, separators=(",", ":")),
+                ]
+            )
+            n += 1
+    return n

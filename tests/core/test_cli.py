@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_prints_both_platforms(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "smp16" in out and "sti7200" in out
+    assert "st40" in out and "opteron0" in out
+
+
+def test_demo_smp_small(capsys):
+    assert main(["demo-smp", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Fetch" in out and "Reorder" in out
+    assert "messages conserved: True" in out
+
+
+def test_demo_sti7200_small(capsys):
+    assert main(["demo-sti7200", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Fetch-Reorder" in out
+    assert "85" in out  # the IDCT memory figure
+
+
+def test_observe_outputs_json(capsys):
+    assert main(["observe"]) == 0
+    out = capsys.readouterr().out
+    data = json.loads(out)
+    assert data["producer/application"]["sends"] == 50
+    assert "producer/os" in data and "consumer/middleware" in data
+
+
+def test_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_version_flag():
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0

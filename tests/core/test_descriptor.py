@@ -1,0 +1,103 @@
+"""Tests for JSON deployment descriptors."""
+
+import pytest
+
+from repro.core import APPLICATION_LEVEL, Application
+from repro.core.descriptor import (
+    DescriptorError,
+    app_from_descriptor,
+    app_to_descriptor,
+    load_descriptor,
+    save_descriptor,
+)
+from repro.mjpeg import generate_stream
+from repro.mjpeg.components import (
+    FetchComponent,
+    IdctComponent,
+    ReorderComponent,
+    build_smp_assembly,
+)
+from repro.runtime import SmpSimRuntime
+
+from tests.runtime.conftest import consumer_behavior, make_pipeline_app, producer_behavior
+
+
+def test_roundtrip_structure():
+    app = make_pipeline_app()
+    desc = app_to_descriptor(app)
+    assert desc["application"] == "pipeline"
+    assert {c["name"] for c in desc["components"]} == {"prod", "cons"}
+    assert desc["connections"] == [
+        {"from": "prod", "required": "out", "to": "cons", "provided": "in"}
+    ]
+    assert desc["observer"]["targets"] == ["prod", "cons"]
+
+
+def test_rebuilt_app_runs_identically():
+    desc = app_to_descriptor(make_pipeline_app(n_messages=7))
+    rebuilt = app_from_descriptor(
+        desc,
+        behaviors={
+            "prod": producer_behavior(7),
+            "cons": consumer_behavior(),
+        },
+    )
+    rt = SmpSimRuntime()
+    rt.run(rebuilt)
+    reports = rt.collect()
+    rt.stop()
+    assert reports[("prod", APPLICATION_LEVEL)]["sends"] == 7
+
+
+def test_json_file_roundtrip(tmp_path):
+    app = make_pipeline_app()
+    path = tmp_path / "app.json"
+    save_descriptor(app, path)
+    desc = load_descriptor(path)
+    assert desc == app_to_descriptor(make_pipeline_app())
+
+
+def test_missing_behavior_rejected():
+    desc = app_to_descriptor(make_pipeline_app())
+    with pytest.raises(DescriptorError, match="no behaviour"):
+        app_from_descriptor(desc, behaviors={"prod": producer_behavior(1)})
+
+
+def test_version_checked():
+    with pytest.raises(DescriptorError, match="version"):
+        app_from_descriptor({"version": 99})
+
+
+def test_prebuilt_components_for_stateful_behaviours():
+    """The MJPEG assembly round-trips with prebuilt (stateful) components."""
+    stream = generate_stream(4, 96, 96, seed=0)
+    original = build_smp_assembly(stream)
+    desc = app_to_descriptor(original)
+
+    stream2 = generate_stream(4, 96, 96, seed=0)
+    prebuilt = {
+        "Fetch": FetchComponent("Fetch", stream2, n_idct=3),
+        "Reorder": ReorderComponent("Reorder", 96, 96, n_upstream=3),
+        **{f"IDCT_{i}": IdctComponent(f"IDCT_{i}", i) for i in (1, 2, 3)},
+    }
+    rebuilt = app_from_descriptor(desc, components=prebuilt)
+    rt = SmpSimRuntime()
+    rt.run(rebuilt)
+    reports = rt.collect()
+    rt.stop()
+    assert reports[("Fetch", APPLICATION_LEVEL)]["sends"] == 18 * 3
+
+
+def test_prebuilt_interface_mismatch_detected():
+    desc = app_to_descriptor(make_pipeline_app())
+    wrong = Application("x").create("prod", behavior=producer_behavior(1))  # no 'out'
+    with pytest.raises(DescriptorError, match="do not"):
+        app_from_descriptor(desc, components={"prod": wrong})
+
+
+def test_placement_survives_roundtrip():
+    app = make_pipeline_app()
+    app.components["prod"].place(cpu=2, priority=7, stream=object())  # last one unserialisable
+    desc = app_to_descriptor(app)
+    spec = next(c for c in desc["components"] if c["name"] == "prod")
+    assert spec["placement"] == {"cpu": 2, "priority": 7}

@@ -1,0 +1,48 @@
+"""Application structure as a networkx graph."""
+
+import networkx as nx
+
+from repro.mjpeg import generate_stream
+from repro.mjpeg.components import build_smp_assembly, build_sti7200_assembly
+
+
+def test_smp_assembly_graph_matches_figure3():
+    stream = generate_stream(2, 96, 96)
+    app = build_smp_assembly(stream)
+    g = app.graph()
+    assert set(g.nodes) == {"Fetch", "IDCT_1", "IDCT_2", "IDCT_3", "Reorder"}
+    # Fetch fans out to the three IDCTs, which all feed Reorder
+    assert set(g.successors("Fetch")) == {"IDCT_1", "IDCT_2", "IDCT_3"}
+    for i in (1, 2, 3):
+        assert list(g.successors(f"IDCT_{i}")) == ["Reorder"]
+    assert list(g.successors("Reorder")) == []
+    assert nx.is_directed_acyclic_graph(g)
+
+
+def test_edge_data_carries_interface_names():
+    stream = generate_stream(2, 96, 96)
+    g = build_smp_assembly(stream).graph()
+    data = list(g.get_edge_data("Fetch", "IDCT_1").values())[0]
+    assert data == {"required": "fetchIdct1", "provided": "_fetchIdct1"}
+
+
+def test_sti7200_graph_is_cyclic_figure7():
+    """The merged Fetch-Reorder both feeds and consumes from the IDCTs."""
+    stream = generate_stream(2, 96, 96)
+    g = build_sti7200_assembly(stream).graph()
+    assert set(g.nodes) == {"Fetch-Reorder", "IDCT_1", "IDCT_2"}
+    assert not nx.is_directed_acyclic_graph(g)
+    assert set(g.successors("Fetch-Reorder")) == {"IDCT_1", "IDCT_2"}
+    assert set(g.predecessors("Fetch-Reorder")) == {"IDCT_1", "IDCT_2"}
+
+
+def test_observation_wiring_hidden_by_default_but_available():
+    stream = generate_stream(2, 96, 96)
+    app = build_smp_assembly(stream)
+    plain = app.graph()
+    assert "observer" not in plain.nodes
+    full = app.graph(include_observation=True)
+    assert "observer" in full.nodes
+    # observer queries every component; every component replies
+    assert set(full.successors("observer")) == set(plain.nodes)
+    assert set(full.predecessors("observer")) == set(plain.nodes)

@@ -1,0 +1,38 @@
+"""The shipped examples must actually run (guards against rot).
+
+Each example is executed in a subprocess with a reduced workload where
+the script accepts one; a non-zero exit or traceback fails the test.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("mjpeg_smp.py", ["6"]),
+    ("mjpeg_sti7200.py", ["4"]),
+    ("observer_midrun.py", []),
+    ("trace_timeline.py", []),
+    ("audio_filterbank.py", []),
+    ("autoscale.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert "Traceback" not in result.stderr

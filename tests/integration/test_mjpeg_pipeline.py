@@ -1,0 +1,187 @@
+"""Integration tests: the componentized MJPEG decoder on every runtime.
+
+These verify both *functional correctness* (decoded frames match the
+single-threaded reference decoder bit-for-bit) and the *paper-shape*
+properties of the observation data (counters, memory, balance).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import APPLICATION_LEVEL, OS_LEVEL
+from repro.mjpeg import decode_image, generate_stream
+from repro.mjpeg.components import build_smp_assembly, build_sti7200_assembly
+from repro.runtime import NativeRuntime, SmpSimRuntime, Sti7200SimRuntime
+
+N_IMAGES = 8  # small but exercises priming + multi-frame reassembly
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return generate_stream(N_IMAGES, 96, 96, quality=75, seed=42)
+
+
+@pytest.fixture(scope="module")
+def reference_frames(stream):
+    return {
+        r.index: decode_image(r.frame.payload, 96, 96, stream.quality) for r in stream
+    }
+
+
+def check_frames(frames, reference_frames):
+    # frame 0 primes the decoder and is not dispatched
+    assert sorted(frames) == list(range(1, N_IMAGES))
+    for idx, img in frames.items():
+        assert np.array_equal(img, reference_frames[idx]), f"frame {idx} differs"
+
+
+def test_smp_sim_pipeline_decodes_correctly(stream, reference_frames):
+    app = build_smp_assembly(stream, keep_frames=True)
+    rt = SmpSimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    check_frames(app.components["Reorder"].frames, reference_frames)
+    # Table 2 structure: 18 * (N - 1) data messages
+    expected = 18 * (N_IMAGES - 1)
+    assert reports[("Fetch", APPLICATION_LEVEL)]["sends"] == expected
+    assert reports[("Reorder", APPLICATION_LEVEL)]["receives"] == expected
+    for i in (1, 2, 3):
+        r = reports[(f"IDCT_{i}", APPLICATION_LEVEL)]
+        assert r["sends"] == r["receives"] == expected // 3
+
+
+def test_smp_sim_memory_matches_table1(stream):
+    app = build_smp_assembly(stream)
+    rt = SmpSimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    assert reports[("Fetch", OS_LEVEL)]["memory_kb"] == 8392.0
+    for i in (1, 2, 3):
+        assert reports[(f"IDCT_{i}", OS_LEVEL)]["memory_kb"] == 10850.0
+    assert reports[("Reorder", OS_LEVEL)]["memory_kb"] == 13308.0
+
+
+def test_smp_sim_pipeline_balanced(stream):
+    """The three parallel IDCTs balance the stages (Table 1 discussion)."""
+    app = build_smp_assembly(stream)
+    rt = SmpSimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    times = {
+        name: reports[(name, OS_LEVEL)]["exec_time_us"]
+        for name in ("Fetch", "IDCT_1", "IDCT_2", "IDCT_3", "Reorder")
+    }
+    spread = max(times.values()) / min(times.values())
+    assert spread < 1.35, times
+    # Completion order: Fetch first, Reorder last (as in Table 1's rows)
+    assert times["Fetch"] <= times["IDCT_1"] <= times["Reorder"]
+
+
+def test_sti7200_pipeline_decodes_correctly(stream, reference_frames):
+    app = build_sti7200_assembly(stream, keep_frames=True)
+    rt = Sti7200SimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    check_frames(app.components["Fetch-Reorder"].frames, reference_frames)
+
+
+def test_sti7200_memory_matches_table3(stream):
+    app = build_sti7200_assembly(stream)
+    rt = Sti7200SimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    assert reports[("Fetch-Reorder", OS_LEVEL)]["memory_kb"] == 110.0
+    assert reports[("IDCT_1", OS_LEVEL)]["memory_kb"] == 85.0
+    assert reports[("IDCT_2", OS_LEVEL)]["memory_kb"] == 85.0
+
+
+def test_sti7200_fetch_reorder_dominates(stream):
+    """Table 3 shape: the ST40 Fetch-Reorder task time is ~10x an IDCT's."""
+    app = build_sti7200_assembly(stream)
+    rt = Sti7200SimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    fr = reports[("Fetch-Reorder", OS_LEVEL)]["exec_time_us"]
+    idct = reports[("IDCT_1", OS_LEVEL)]["exec_time_us"]
+    assert 6 < fr / idct < 20, (fr, idct)
+
+
+def test_native_pipeline_decodes_correctly(stream, reference_frames):
+    app = build_smp_assembly(stream, keep_frames=True)
+    rt = NativeRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    check_frames(app.components["Reorder"].frames, reference_frames)
+    expected = 18 * (N_IMAGES - 1)
+    assert reports[("Fetch", APPLICATION_LEVEL)]["sends"] == expected
+
+
+def test_stored_coefficient_mode_identical_output(stream, reference_frames):
+    """The cost-model-only Fetch path must decode identically."""
+    app = build_smp_assembly(stream, use_stored_coefficients=True, keep_frames=True)
+    rt = SmpSimRuntime()
+    rt.run(app)
+    rt.stop()
+    check_frames(app.components["Reorder"].frames, reference_frames)
+
+
+def test_stored_coefficient_mode_identical_sim_time(stream):
+    """Charged costs are mode-independent: simulated time matches exactly."""
+    spans = []
+    for stored in (False, True):
+        app = build_smp_assembly(stream, use_stored_coefficients=stored)
+        rt = SmpSimRuntime()
+        rt.run(app)
+        rt.stop()
+        spans.append(rt.makespan_ns)
+    assert spans[0] == spans[1]
+
+
+def test_exec_time_scales_linearly_with_images():
+    """Twice the images -> about twice the execution time (Table 1)."""
+    spans = {}
+    for n in (6, 12):
+        s = generate_stream(n, 96, 96, quality=75, seed=1)
+        app = build_smp_assembly(s)
+        rt = SmpSimRuntime()
+        rt.run(app)
+        rt.stop()
+        spans[n] = rt.makespan_ns
+    ratio = spans[12] / spans[6]
+    assert 1.7 < ratio < 2.4, spans
+
+
+def test_table2_counts_independent_of_content():
+    """The Table 2 counts are structural: any seed/quality produces
+    exactly 18*(N-1) regardless of image content."""
+    from repro.core import APPLICATION_LEVEL
+
+    for seed, quality in ((1, 30), (2, 95)):
+        s = generate_stream(5, 96, 96, quality=quality, seed=seed)
+        app = build_smp_assembly(s)
+        rt = SmpSimRuntime()
+        rt.run(app)
+        reports = rt.collect()
+        rt.stop()
+        assert reports[("Fetch", APPLICATION_LEVEL)]["sends"] == 18 * 4
+
+
+def test_fetch_reorder_middleware_share_on_sti7200(stream):
+    """Analysis helper on the STi7200 run: communication is a small
+    share of the ST40's busy time (compute dominates, as in Table 3)."""
+    from repro.metrics.analysis import middleware_cost_share
+
+    app = build_sti7200_assembly(stream, use_stored_coefficients=True)
+    rt = Sti7200SimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    shares = middleware_cost_share(reports)
+    assert 0.0 < shares["Fetch-Reorder"] < 0.2

@@ -1,0 +1,97 @@
+"""Extra MJPEG integration coverage: the merged Fetch-Reorder assembly on
+the native runtime, STi7200 counters, and a wide-assembly stress test."""
+
+import numpy as np
+import pytest
+
+from repro.core import APPLICATION_LEVEL, Application, CONTROL
+from repro.mjpeg import decode_image, generate_stream
+from repro.mjpeg.components import build_sti7200_assembly
+from repro.runtime import NativeRuntime, SmpSimRuntime, Sti7200SimRuntime
+
+
+def test_sti7200_assembly_runs_on_native_runtime():
+    """The Figure 7 assembly is runtime-agnostic: the same components run
+    on real threads (placement hints are simply ignored there)."""
+    stream = generate_stream(5, 96, 96, quality=75, seed=31)
+    app = build_sti7200_assembly(stream, keep_frames=True)
+    rt = NativeRuntime()
+    rt.run(app)
+    rt.stop()
+    fr = app.components["Fetch-Reorder"]
+    ref = decode_image(stream[2].frame.payload, 96, 96, 75)
+    assert np.array_equal(fr.frames[2], ref)
+
+
+def test_sti7200_communication_counts_structural():
+    """On the 2-IDCT deployment each IDCT gets 9 of the 18 batches."""
+    n = 6
+    stream = generate_stream(n, 96, 96, quality=75, seed=32)
+    app = build_sti7200_assembly(stream)
+    rt = Sti7200SimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    total = 18 * (n - 1)
+    fr = reports[("Fetch-Reorder", APPLICATION_LEVEL)]
+    assert fr["sends"] == total
+    assert fr["receives"] == total
+    assert fr["deposits"] == n - 1
+    for i in (1, 2):
+        idct = reports[(f"IDCT_{i}", APPLICATION_LEVEL)]
+        assert idct["receives"] == idct["sends"] == total // 2
+
+
+def test_wide_assembly_stress():
+    """A 40-component scatter/gather assembly runs and conserves
+    messages -- kernel and scheduler scale past the paper's 5."""
+    n_workers = 38
+    per_worker = 4
+    app = Application("wide")
+
+    def source(ctx):
+        for w in range(n_workers):
+            for m in range(per_worker):
+                yield from ctx.send(f"w{w}", (w, m))
+            yield from ctx.send(f"w{w}", None, kind=CONTROL, tag="eos")
+
+    def worker(ctx):
+        while True:
+            msg = yield from ctx.receive("in")
+            if msg.kind == CONTROL:
+                yield from ctx.send("out", None, kind=CONTROL, tag="eos")
+                return
+            yield from ctx.compute("ns", 10_000)
+            yield from ctx.send("out", msg.payload)
+
+    def sink(ctx):
+        eos = 0
+        items = 0
+        while eos < n_workers:
+            msg = yield from ctx.receive("in")
+            if msg.kind == CONTROL:
+                eos += 1
+            else:
+                items += 1
+        return items
+
+    app.create("source", behavior=source, requires=[f"w{w}" for w in range(n_workers)])
+    for w in range(n_workers):
+        app.create(f"worker{w}", behavior=worker, provides=["in"], requires=["out"])
+        app.connect("source", f"w{w}", f"worker{w}", "in")
+    app.create("sink", behavior=sink, provides=["in"])
+    for w in range(n_workers):
+        app.connect(f"worker{w}", "out", "sink", "in")
+    app.attach_observer()
+    rt = SmpSimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    assert rt.containers["sink"].handle.result == n_workers * per_worker
+    total_sends = sum(
+        reports[(c, APPLICATION_LEVEL)]["sends"] for c in app.components if c != "observer"
+    )
+    total_recvs = sum(
+        reports[(c, APPLICATION_LEVEL)]["receives"] for c in app.components if c != "observer"
+    )
+    assert total_sends == total_recvs == 2 * n_workers * per_worker

@@ -1,0 +1,78 @@
+"""Runtime parity: the same application observed on all three runtimes.
+
+The paper's portability claim is that the component model and its
+observation are platform-independent while the numbers underneath are
+platform-specific.  Concretely: application-level observation
+(structure, counters) must be identical across runtimes; OS-level
+numbers must differ in the platform-characteristic ways.
+"""
+
+import pytest
+
+from repro.core import APPLICATION_LEVEL, OS_LEVEL
+from repro.runtime import NativeRuntime, SmpSimRuntime, Sti7200SimRuntime
+
+from tests.runtime.conftest import make_pipeline_app
+
+
+def run_on(runtime_cls):
+    app = make_pipeline_app(n_messages=12, payload_bytes=2_000)
+    if runtime_cls is Sti7200SimRuntime:
+        app.components["prod"].place(cpu=0)
+        app.components["cons"].place(cpu=1)
+    rt = runtime_cls()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    return reports
+
+
+@pytest.fixture(scope="module")
+def all_reports():
+    return {
+        cls.__name__: run_on(cls)
+        for cls in (SmpSimRuntime, Sti7200SimRuntime, NativeRuntime)
+    }
+
+
+def test_application_level_identical_across_runtimes(all_reports):
+    baselines = None
+    for name, reports in all_reports.items():
+        app_level = {
+            comp: {
+                "sends": reports[(comp, APPLICATION_LEVEL)]["sends"],
+                "receives": reports[(comp, APPLICATION_LEVEL)]["receives"],
+                "structure": reports[(comp, APPLICATION_LEVEL)]["structure"],
+            }
+            for comp in ("prod", "cons")
+        }
+        if baselines is None:
+            baselines = app_level
+        else:
+            assert app_level == baselines, f"{name} diverges at application level"
+
+
+def test_bytes_accounting_identical_across_runtimes(all_reports):
+    values = {
+        name: reports[("prod", APPLICATION_LEVEL)]["bytes_sent"]
+        for name, reports in all_reports.items()
+    }
+    assert len(set(values.values())) == 1, values
+
+
+def test_os_level_memory_semantics_differ_by_platform(all_reports):
+    smp = all_reports["SmpSimRuntime"][("cons", OS_LEVEL)]
+    sti = all_reports["Sti7200SimRuntime"][("cons", OS_LEVEL)]
+    native = all_reports["NativeRuntime"][("cons", OS_LEVEL)]
+    # Linux-style accounting: stack + mailbox structures (~10.6 MB)
+    assert smp["memory_kb"] == native["memory_kb"] == pytest.approx(8392 + 2458)
+    # OS21-style accounting: task data + distributed object (85 kB)
+    assert sti["memory_kb"] == 85.0
+
+
+def test_exec_time_semantics_differ_by_platform(all_reports):
+    """Same workload: OS21 charges orders of magnitude more virtual time
+    (slow cores), and native exec time is real host time (small)."""
+    smp_us = all_reports["SmpSimRuntime"][("prod", OS_LEVEL)]["exec_time_us"]
+    sti_us = all_reports["Sti7200SimRuntime"][("prod", OS_LEVEL)]["exec_time_us"]
+    assert sti_us > 5 * smp_us

@@ -1,0 +1,99 @@
+"""Tests for cross-component report analysis."""
+
+import pytest
+
+from repro.core import APPLICATION_LEVEL, MIDDLEWARE_LEVEL, OS_LEVEL
+from repro.metrics.analysis import (
+    communication_matrix,
+    conservation_check,
+    load_balance,
+    middleware_cost_share,
+    pipeline_throughput,
+    summarize,
+)
+from repro.mjpeg import generate_stream
+from repro.mjpeg.components import build_smp_assembly
+from repro.runtime import SmpSimRuntime
+
+
+def synthetic_reports():
+    return {
+        ("a", OS_LEVEL): {"cpu_time_us": 100},
+        ("b", OS_LEVEL): {"cpu_time_us": 300},
+        ("a", APPLICATION_LEVEL): {"sends": 10, "receives": 0, "bytes_sent": 500,
+                                   "bytes_received": 0, "deposits": 0},
+        ("b", APPLICATION_LEVEL): {"sends": 0, "receives": 10, "bytes_sent": 0,
+                                   "bytes_received": 500, "deposits": 5},
+        ("a", MIDDLEWARE_LEVEL): {"send": {"total_ns": 20_000}, "receive": {"total_ns": 0}},
+        ("b", MIDDLEWARE_LEVEL): {"send": {"total_ns": 0}, "receive": {"total_ns": 150_000}},
+    }
+
+
+def test_load_balance_identifies_bottleneck():
+    report = load_balance(synthetic_reports())
+    assert report.bottleneck == "b"
+    assert report.imbalance == pytest.approx(1.5)
+    assert not report.balanced
+
+
+def test_load_balance_requires_os_reports():
+    with pytest.raises(ValueError, match="no OS-level"):
+        load_balance({})
+
+
+def test_communication_matrix_and_conservation():
+    matrix = communication_matrix(synthetic_reports())
+    assert matrix["a"]["sends"] == 10
+    assert conservation_check(synthetic_reports()) == (10, 10)
+
+
+def test_middleware_cost_share():
+    shares = middleware_cost_share(synthetic_reports())
+    assert shares["a"] == pytest.approx(0.2)
+    assert shares["b"] == pytest.approx(0.5)
+
+
+def test_pipeline_throughput():
+    tp = pipeline_throughput(synthetic_reports(), makespan_ns=1_000_000_000)
+    assert tp == pytest.approx(5.0)
+    assert pipeline_throughput({}, makespan_ns=100) is None
+    with pytest.raises(ValueError):
+        pipeline_throughput(synthetic_reports(), makespan_ns=0)
+
+
+def test_summarize_combines_everything():
+    s = summarize(synthetic_reports(), makespan_ns=1_000_000_000)
+    assert s["bottleneck"] == "b"
+    assert s["messages_conserved"]
+    assert s["throughput_per_s"] == pytest.approx(5.0)
+
+
+def test_analysis_on_real_mjpeg_run():
+    """The paper's 4.4 reading, mechanised: the SMP assembly with three
+    IDCTs is well load-balanced and conserves all messages."""
+    stream = generate_stream(10, 96, 96, quality=75, seed=9)
+    app = build_smp_assembly(stream, use_stored_coefficients=True)
+    rt = SmpSimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    s = summarize(reports, makespan_ns=rt.makespan_ns)
+    assert s["balanced"], s
+    assert s["messages_conserved"]
+    assert s["throughput_per_s"] == pytest.approx(
+        9 / (rt.makespan_ns / 1e9), rel=0.01
+    )
+
+
+def test_analysis_detects_idct_bottleneck_with_fewer_idcts():
+    """...and with a single IDCT the bottleneck moves there, exactly the
+    risk the paper predicts for changed input sizes."""
+    stream = generate_stream(8, 96, 96, quality=75, seed=9)
+    app = build_smp_assembly(stream, n_idct=1, use_stored_coefficients=True)
+    rt = SmpSimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    balance = load_balance(reports)
+    assert balance.bottleneck == "IDCT_1"
+    assert not balance.balanced

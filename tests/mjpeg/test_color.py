@@ -1,0 +1,160 @@
+"""Tests for the 4:2:0 color codec extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mjpeg.color import rgb_to_ycbcr, subsample_420, upsample_420, ycbcr_to_rgb
+from repro.mjpeg.decoder import decode_color_image
+from repro.mjpeg.encoder import encode_color_image
+from repro.mjpeg.huffman import STD_AC_CHROMA, STD_DC_CHROMA
+from repro.mjpeg.quant import STD_CHROMA_QUANT, quant_table
+
+
+def color_test_image(h=64, w=64, seed=0):
+    y, x = np.mgrid[0:h, 0:w]
+    rng = np.random.default_rng(seed)
+    rgb = np.stack(
+        [
+            (x * 4) % 256,
+            (y * 4) % 256,
+            ((x + y) * 2) % 256,
+        ],
+        axis=-1,
+    ).astype(np.float64)
+    rgb += rng.normal(0, 3, rgb.shape)
+    return np.clip(rgb, 0, 255).astype(np.uint8)
+
+
+# -- colour space --------------------------------------------------------------
+
+
+def test_ycbcr_roundtrip_near_lossless():
+    rgb = color_test_image()
+    back = ycbcr_to_rgb(rgb_to_ycbcr(rgb))
+    assert np.abs(back.astype(int) - rgb.astype(int)).max() <= 1
+
+
+def test_gray_pixels_have_neutral_chroma():
+    gray = np.full((16, 16, 3), 77, dtype=np.uint8)
+    ycc = rgb_to_ycbcr(gray)
+    assert np.allclose(ycc[..., 0], 77, atol=0.5)
+    assert np.allclose(ycc[..., 1:], 128, atol=0.5)
+
+
+def test_primary_colors_ycc_values():
+    """BT.601 luma weights: Y(white)=255, Y(red)=76, Y(green)=150, Y(blue)=29."""
+    px = np.array([[[255, 255, 255], [255, 0, 0], [0, 255, 0], [0, 0, 255]]], dtype=np.uint8)
+    y = rgb_to_ycbcr(px)[..., 0].ravel()
+    assert np.allclose(y, [255, 76.245, 149.685, 29.07], atol=0.5)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        rgb_to_ycbcr(np.zeros((8, 8)))
+    with pytest.raises(ValueError):
+        ycbcr_to_rgb(np.zeros((8, 8, 4)))
+
+
+# -- subsampling --------------------------------------------------------------------
+
+
+def test_subsample_averages_2x2():
+    plane = np.array([[0, 4], [8, 12]], dtype=np.float64)
+    assert subsample_420(plane) == pytest.approx(np.array([[6.0]]))
+
+
+def test_subsample_requires_even_dims():
+    with pytest.raises(ValueError):
+        subsample_420(np.zeros((3, 4)))
+
+
+def test_upsample_replicates():
+    up = upsample_420(np.array([[5.0]]), 2, 2)
+    assert np.array_equal(up, np.full((2, 2), 5.0))
+    with pytest.raises(ValueError):
+        upsample_420(np.zeros((2, 2)), 5, 4)
+
+
+def test_sub_up_roundtrip_constant_plane():
+    plane = np.full((16, 16), 93.0)
+    assert np.array_equal(upsample_420(subsample_420(plane), 16, 16), plane)
+
+
+# -- chroma tables --------------------------------------------------------------------
+
+
+def test_chroma_quant_table_selected():
+    assert np.array_equal(quant_table(50, chroma=True), STD_CHROMA_QUANT)
+    assert not np.array_equal(quant_table(50, chroma=True), quant_table(50, chroma=False))
+
+
+def test_chroma_huffman_tables_wellformed():
+    assert len(STD_DC_CHROMA.encode_map) == 12
+    assert len(STD_AC_CHROMA.encode_map) == 162
+
+
+# -- end-to-end -----------------------------------------------------------------------
+
+
+def test_color_roundtrip_high_quality():
+    rgb = color_test_image()
+    frame = encode_color_image(rgb, quality=92)
+    out = decode_color_image(frame)
+    assert out.shape == rgb.shape and out.dtype == np.uint8
+    err = np.abs(out.astype(int) - rgb.astype(int))
+    assert err.mean() < 6.0  # chroma subsampling bounds fidelity
+    assert err[..., 0].mean() < err.mean() * 2  # no channel blows up
+
+
+def test_color_quality_monotone():
+    rgb = color_test_image(seed=1)
+    errs = {}
+    for q in (30, 70, 95):
+        frame = encode_color_image(rgb, quality=q)
+        out = decode_color_image(frame)
+        errs[q] = float(np.mean(np.abs(out.astype(int) - rgb.astype(int))))
+    assert errs[95] < errs[70] < errs[30]
+
+
+def test_color_payload_layout():
+    rgb = color_test_image(h=32, w=48)
+    frame = encode_color_image(rgb, quality=75)
+    (yn, yb, yo), (cbn, _, cbo), (crn, _, cro) = (
+        (frame.plane_index[0][1], frame.plane_index[0][0], frame.plane_index[0][2]),
+        frame.plane_index[1],
+        frame.plane_index[2],
+    )
+    # Y has 4x the chroma block count in 4:2:0
+    assert frame.plane_index[0][1] == 4 * frame.plane_index[1][1]
+    assert frame.plane_index[1][1] == frame.plane_index[2][1]
+    # plane segments are back to back and start at increasing offsets
+    offsets = [p[2] for p in frame.plane_index]
+    assert offsets[0] == 0 and offsets[0] < offsets[1] < offsets[2]
+
+
+def test_color_dimension_validation():
+    with pytest.raises(ValueError, match="divisible by 16"):
+        encode_color_image(np.zeros((24, 32, 3), dtype=np.uint8))
+    with pytest.raises(ValueError, match="uint8"):
+        encode_color_image(np.zeros((32, 32, 3), dtype=np.float64))
+
+
+def test_gray_image_through_color_path():
+    """A gray RGB image survives the chroma path (neutral chroma)."""
+    gray = np.repeat(color_test_image()[..., :1], 3, axis=-1)
+    frame = encode_color_image(gray, quality=90)
+    out = decode_color_image(frame)
+    # channels stay nearly equal (chroma ~neutral through the codec)
+    spread = np.abs(out.astype(int).max(axis=-1) - out.astype(int).min(axis=-1))
+    assert spread.mean() < 3.0
+
+
+@settings(max_examples=5, deadline=None)
+@given(hnp.arrays(np.uint8, (16, 16, 3), elements=st.integers(0, 255)))
+def test_color_roundtrip_never_crashes_property(rgb):
+    frame = encode_color_image(rgb, quality=85)
+    out = decode_color_image(frame)
+    assert out.shape == rgb.shape

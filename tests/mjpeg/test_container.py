@@ -1,0 +1,101 @@
+"""Tests for the MJPR stream container."""
+
+import numpy as np
+import pytest
+
+from repro.mjpeg import generate_stream
+from repro.mjpeg.container import ContainerError, load_stream, save_stream
+
+
+@pytest.fixture
+def stream():
+    return generate_stream(5, 48, 48, quality=70, seed=3)
+
+
+def streams_equal(a, b):
+    if (a.height, a.width, a.quality, len(a)) != (b.height, b.width, b.quality, len(b)):
+        return False
+    for ra, rb in zip(a, b):
+        fa, fb = ra.frame, rb.frame
+        if fa.payload != fb.payload or fa.n_bits != fb.n_bits or fa.n_blocks != fb.n_blocks:
+            return False
+        if not np.array_equal(fa.qcoefs_zz, fb.qcoefs_zz):
+            return False
+    return True
+
+
+def test_roundtrip_with_coefficients(tmp_path, stream):
+    path = tmp_path / "s.mjr"
+    size = save_stream(stream, path, with_coefficients=True)
+    assert size == path.stat().st_size
+    loaded = load_stream(path)
+    assert streams_equal(stream, loaded)
+
+
+def test_roundtrip_without_coefficients_reconstructs(tmp_path, stream):
+    path = tmp_path / "s.mjr"
+    small = save_stream(stream, path, with_coefficients=False)
+    loaded = load_stream(path)
+    assert streams_equal(stream, loaded)
+    # storing coefficients costs space
+    big = save_stream(stream, tmp_path / "s2.mjr", with_coefficients=True)
+    assert big > small
+
+
+def test_loaded_stream_decodes_in_pipeline(tmp_path, stream):
+    from repro.mjpeg import decode_image
+    from repro.mjpeg.components import build_smp_assembly
+    from repro.runtime import SmpSimRuntime
+
+    path = tmp_path / "s.mjr"
+    save_stream(stream, path)
+    loaded = load_stream(path)
+    app = build_smp_assembly(loaded, keep_frames=True)
+    rt = SmpSimRuntime()
+    rt.run(app)
+    rt.stop()
+    frames = app.components["Reorder"].frames
+    ref = decode_image(stream[3].frame.payload, 48, 48, 70)
+    assert np.array_equal(frames[3], ref)
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "junk"
+    path.write_bytes(b"NOPE" + bytes(60))
+    with pytest.raises(ContainerError, match="magic"):
+        load_stream(path)
+
+
+def test_short_file_rejected(tmp_path):
+    path = tmp_path / "tiny"
+    path.write_bytes(b"MJ")
+    with pytest.raises(ContainerError, match="shorter"):
+        load_stream(path)
+
+
+def test_truncation_detected(tmp_path, stream):
+    path = tmp_path / "s.mjr"
+    save_stream(stream, path)
+    data = path.read_bytes()
+    for cut in (len(data) - 7, len(data) // 2):
+        (tmp_path / "cut.mjr").write_bytes(data[:cut])
+        with pytest.raises(ContainerError, match="truncated|trailing"):
+            load_stream(tmp_path / "cut.mjr")
+
+
+def test_trailing_garbage_detected(tmp_path, stream):
+    path = tmp_path / "s.mjr"
+    save_stream(stream, path)
+    path.write_bytes(path.read_bytes() + b"xx")
+    with pytest.raises(ContainerError, match="trailing"):
+        load_stream(path)
+
+
+def test_unsupported_version_rejected(tmp_path, stream):
+    path = tmp_path / "s.mjr"
+    save_stream(stream, path)
+    data = bytearray(path.read_bytes())
+    data[4] = 99  # version field
+    path.write_bytes(bytes(data))
+    with pytest.raises(ContainerError, match="version"):
+        load_stream(path)

@@ -1,0 +1,43 @@
+"""Shared fixtures: a small pipeline application used across runtime tests."""
+
+import pytest
+
+from repro.core import Application, CONTROL
+
+
+def producer_behavior(n_messages, payload_bytes=1000, work_units=10):
+    def behavior(ctx):
+        for i in range(n_messages):
+            yield from ctx.compute("huffman_block", work_units)
+            yield from ctx.send("out", bytes(payload_bytes), tag=f"m{i}")
+        yield from ctx.send("out", None, kind=CONTROL, tag="eos")
+
+    return behavior
+
+
+def consumer_behavior(work_units=10):
+    def behavior(ctx):
+        received = 0
+        while True:
+            msg = yield from ctx.receive("in")
+            if msg.kind == CONTROL and msg.tag == "eos":
+                return received
+            yield from ctx.compute("idct_block", work_units)
+            received += 1
+
+    return behavior
+
+
+def make_pipeline_app(n_messages=5, payload_bytes=1000, observer=True):
+    app = Application("pipeline")
+    app.create("prod", behavior=producer_behavior(n_messages, payload_bytes), requires=["out"])
+    app.create("cons", behavior=consumer_behavior(), provides=["in"])
+    app.connect("prod", "out", "cons", "in")
+    if observer:
+        app.attach_observer()
+    return app
+
+
+@pytest.fixture
+def pipeline_app():
+    return make_pipeline_app()

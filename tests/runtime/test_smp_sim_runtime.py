@@ -1,0 +1,213 @@
+"""Tests for the simulated Linux/SMP runtime."""
+
+import pytest
+
+from repro.core import APPLICATION_LEVEL, MIDDLEWARE_LEVEL, OS_LEVEL, Application, CONTROL
+from repro.core.component import ComponentState
+from repro.hw import make_smp16
+from repro.oslinux.system import DEFAULT_STACK_BYTES
+from repro.runtime import SmpSimRuntime
+from repro.runtime.base import RuntimeError_
+
+from tests.runtime.conftest import make_pipeline_app
+
+
+def run_pipeline(app=None):
+    app = app or make_pipeline_app()
+    rt = SmpSimRuntime()
+    rt.run(app)
+    return rt, app
+
+
+def test_pipeline_completes_and_time_advances():
+    rt, app = run_pipeline()
+    assert rt.makespan_ns > 0
+    assert all(c.state == ComponentState.STOPPED for c in app.functional_components())
+
+
+def test_application_counters_exact():
+    rt, app = run_pipeline()
+    reports = rt.collect()
+    rt.stop()
+    assert reports[("prod", APPLICATION_LEVEL)]["sends"] == 5
+    assert reports[("prod", APPLICATION_LEVEL)]["receives"] == 0
+    assert reports[("cons", APPLICATION_LEVEL)]["receives"] == 5
+    assert reports[("cons", APPLICATION_LEVEL)]["sends"] == 0
+
+
+def test_os_report_wall_time_and_memory():
+    rt, app = run_pipeline()
+    reports = rt.collect()
+    rt.stop()
+    prod_os = reports[("prod", OS_LEVEL)]
+    cons_os = reports[("cons", OS_LEVEL)]
+    assert prod_os["exec_time_us"] > 0
+    assert prod_os["stack_bytes"] == DEFAULT_STACK_BYTES
+    assert prod_os["interface_bytes"] == 0  # no functional provided interface
+    assert prod_os["memory_kb"] == 8392.0
+    assert cons_os["interface_bytes"] > 0  # one mailbox
+    assert cons_os["memory_kb"] == pytest.approx(8392 + 2458)
+
+
+def test_middleware_report_send_times_scale_with_size():
+    small = make_pipeline_app(n_messages=10, payload_bytes=1_000)
+    large = make_pipeline_app(n_messages=10, payload_bytes=100_000)
+    means = {}
+    for tag, app in (("small", small), ("large", large)):
+        rt = SmpSimRuntime()
+        rt.run(app)
+        reports = rt.collect()
+        rt.stop()
+        means[tag] = reports[("prod", MIDDLEWARE_LEVEL)]["send"]["mean_ns"]
+    assert means["large"] > 10 * means["small"]
+
+
+def test_mailbox_memory_charged_to_node():
+    app = make_pipeline_app()
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    used = sum(r.used_bytes for r in rt.platform.regions.values())
+    # one functional mailbox (cons.in) + no stacks yet
+    assert used == 2458 * 1024
+
+
+def test_stacks_charged_at_start_released_at_exit():
+    app = make_pipeline_app()
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    rt.start()
+    used = sum(r.used_bytes for r in rt.platform.regions.values())
+    assert used == 2458 * 1024 + 2 * DEFAULT_STACK_BYTES
+    rt.wait()
+    used_after = sum(r.used_bytes for r in rt.platform.regions.values())
+    assert used_after == 2458 * 1024  # stacks released, mailboxes remain
+    rt.stop()
+
+
+def test_components_pinned_round_robin():
+    app = make_pipeline_app()
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    cores = [rt.containers[n].extra["core"] for n in ("prod", "cons")]
+    assert cores == [0, 1]
+
+
+def test_explicit_core_placement():
+    app = make_pipeline_app()
+    app.components["prod"].place(core=7)
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    assert rt.containers["prod"].extra["core"] == 7
+
+
+def test_deterministic_across_runs():
+    results = []
+    for _ in range(2):
+        rt, _ = run_pipeline(make_pipeline_app())
+        results.append(rt.makespan_ns)
+    assert results[0] == results[1]
+
+
+def test_stuck_component_reported():
+    app = Application("stuck")
+
+    def forever(ctx):
+        yield from ctx.receive("in")
+
+    app.create("c", behavior=forever, provides=["in"])
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    rt.start()
+    with pytest.raises(RuntimeError_, match="did not finish"):
+        rt.wait()
+
+
+def test_component_exception_propagates():
+    app = Application("boom")
+
+    def bad(ctx):
+        yield from ctx.compute("x", 1)
+        raise ValueError("component bug")
+
+    app.create("c", behavior=bad)
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    rt.start()
+    with pytest.raises(ValueError, match="component bug"):
+        rt.wait()
+
+
+def test_collect_without_observer_rejected():
+    app = make_pipeline_app(observer=False)
+    rt = SmpSimRuntime()
+    rt.run(app)
+    with pytest.raises(RuntimeError_, match="observer"):
+        rt.collect()
+
+
+def test_collect_specific_plan():
+    rt, app = run_pipeline()
+    reports = rt.collect(plan=[("prod", APPLICATION_LEVEL)])
+    rt.stop()
+    assert set(reports) == {("prod", APPLICATION_LEVEL)}
+
+
+def test_send_to_unconnected_interface_fails():
+    from repro.core import ConnectionError_
+
+    app = Application("bad")
+
+    def lonely(ctx):
+        yield from ctx.send("out", b"x")
+
+    app.create("c", behavior=lonely, requires=["out"])
+    # validation catches it before deployment
+    rt = SmpSimRuntime()
+    with pytest.raises(ConnectionError_, match="not connected"):
+        rt.deploy(app)
+
+
+def test_cache_observation_extension():
+    """With caches enabled, OS-level reports include miss counters."""
+    app = make_pipeline_app()
+    rt = SmpSimRuntime(platform=make_smp16(with_caches=True))
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    cache = reports[("prod", OS_LEVEL)]["cache"]
+    assert cache["misses"] > 0
+    assert 0.0 <= cache["miss_rate"] <= 1.0
+
+
+def test_message_latency_observed_end_to_end():
+    """Middleware-level latency: a slow consumer sees queueing delay far
+    above the raw transfer time."""
+    from repro.core import Application, CONTROL, MIDDLEWARE_LEVEL
+
+    app = Application("latency")
+
+    def producer(ctx):
+        for _ in range(10):
+            yield from ctx.send("out", b"x" * 1000)
+        yield from ctx.send("out", None, kind=CONTROL, tag="eos")
+
+    def slow_consumer(ctx):
+        while True:
+            msg = yield from ctx.receive("in")
+            if msg.kind == CONTROL:
+                return
+            yield from ctx.compute("ns", 5_000_000)
+
+    app.create("prod", behavior=producer, requires=["out"])
+    app.create("cons", behavior=slow_consumer, provides=["in"])
+    app.connect("prod", "out", "cons", "in")
+    app.attach_observer()
+    rt = SmpSimRuntime()
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+    latency = reports[("cons", MIDDLEWARE_LEVEL)]["latency"]
+    assert latency["count"] == 11
+    # the 10th message waited behind ~9 x 5 ms of consumer work
+    assert latency["max_ns"] > 30_000_000
+    assert latency["min_ns"] >= 0

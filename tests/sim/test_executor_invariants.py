@@ -1,0 +1,109 @@
+"""Executor invariants checked via the context-switch hook."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Kernel, Timeout
+from repro.sim.executor import Compute, ExecEngine, PriorityPolicy, RoundRobinPolicy
+
+
+class UnitCpu:
+    def cost_ns(self, opclass, units):
+        return int(units)
+
+
+def build(n_cores, policy):
+    k = Kernel()
+    return k, ExecEngine(k, [UnitCpu() for _ in range(n_cores)], policy)
+
+
+class SwitchAuditor:
+    """Checks mutual exclusion per core and per thread from switch events."""
+
+    def __init__(self, engine):
+        self.core_busy = {}
+        self.thread_on = {}
+        self.violations = []
+        engine.on_context_switch = self.on_switch
+
+    def on_switch(self, core, old, new):
+        if old is not None:
+            if self.core_busy.get(core.index) is not old:
+                self.violations.append(("core-mismatch", core.index, old.name))
+            self.core_busy[core.index] = None
+            self.thread_on.pop(old.name, None)
+        if new is not None:
+            if self.core_busy.get(core.index) is not None:
+                self.violations.append(("core-double-book", core.index, new.name))
+            if new.name in self.thread_on:
+                self.violations.append(("thread-on-two-cores", new.name))
+            self.core_busy[core.index] = new
+            self.thread_on[new.name] = core.index
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 500), st.integers(0, 200), st.integers(0, 9)),
+        min_size=1,
+        max_size=12,
+    ),
+    st.integers(1, 4),
+    st.booleans(),
+)
+def test_no_core_or_thread_double_booking(specs, n_cores, use_priority):
+    policy = PriorityPolicy(quantum_ns=50) if use_priority else RoundRobinPolicy(quantum_ns=50)
+    k, eng = build(n_cores, policy)
+    auditor = SwitchAuditor(eng)
+
+    def body(compute_ns, sleep_ns):
+        yield Compute("op", compute_ns)
+        if sleep_ns:
+            yield Timeout(sleep_ns)
+            yield Compute("op", compute_ns // 2)
+
+    for i, (compute_ns, sleep_ns, prio) in enumerate(specs):
+        eng.spawn(body(compute_ns, sleep_ns), name=f"t{i}", priority=prio)
+    eng.shutdown()
+    k.run()
+    assert auditor.violations == []
+    assert all(t.state == "DONE" for t in eng.threads)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(1, 1000), min_size=1, max_size=10),
+    st.integers(1, 3),
+)
+def test_cpu_time_conservation(compute_times, n_cores):
+    """Sum of per-thread CPU time == sum of per-core busy time, and each
+    thread is charged exactly what it asked for."""
+    k, eng = build(n_cores, RoundRobinPolicy(quantum_ns=64))
+    threads = []
+
+    def body(ns):
+        yield Compute("op", ns)
+
+    for i, ns in enumerate(compute_times):
+        threads.append(eng.spawn(body(ns), name=f"t{i}"))
+    eng.shutdown()
+    k.run()
+    for t, ns in zip(threads, compute_times):
+        assert t.cpu_time_ns == ns
+    assert sum(t.cpu_time_ns for t in threads) == sum(c.busy_ns for c in eng.cores)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(1, 300), min_size=2, max_size=8))
+def test_makespan_bounds(compute_times):
+    """Single core: makespan == total work.  The scheduler may neither
+    lose nor invent time."""
+    k, eng = build(1, RoundRobinPolicy(quantum_ns=37))
+    for i, ns in enumerate(compute_times):
+        def body(n=ns):
+            yield Compute("op", n)
+        eng.spawn(body(), name=f"t{i}")
+    eng.shutdown()
+    k.run()
+    assert k.now == sum(compute_times)

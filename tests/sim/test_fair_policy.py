@@ -1,0 +1,109 @@
+"""Tests for the CFS-flavoured fair scheduling policy."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.sim.errors import SimulationError
+from repro.sim.executor import Compute, ExecEngine, FairPolicy
+
+
+class UnitCpu:
+    def cost_ns(self, opclass, units):
+        return int(units)
+
+
+def build(n_cores=1, quantum=100, step=2.0):
+    k = Kernel()
+    return k, ExecEngine(k, [UnitCpu() for _ in range(n_cores)], FairPolicy(quantum, step))
+
+
+def spawn_spinner(eng, name, priority, total):
+    def body():
+        yield Compute("op", total)
+
+    return eng.spawn(body(), name=name, priority=priority)
+
+
+def test_equal_priority_shares_equally():
+    k, eng = build(quantum=100)
+    a = spawn_spinner(eng, "a", 0, 100_000)
+    b = spawn_spinner(eng, "b", 0, 100_000)
+    eng.shutdown()
+    k.run(until=50_000)
+    # halfway through, both have ~equal CPU time
+    assert a.cpu_time_ns == pytest.approx(b.cpu_time_ns, rel=0.05)
+
+
+def test_weighted_share_follows_priority():
+    """Priority +1 at weight_step=2 doubles the entitled share."""
+    k, eng = build(quantum=100, step=2.0)
+    low = spawn_spinner(eng, "low", 0, 10_000_000)
+    high = spawn_spinner(eng, "high", 1, 10_000_000)
+    eng.shutdown()
+    k.run(until=30_000)
+    ratio = high.cpu_time_ns / low.cpu_time_ns
+    assert 1.7 < ratio < 2.4, ratio
+
+
+def test_three_way_weighted_shares():
+    k, eng = build(quantum=50, step=2.0)
+    threads = [spawn_spinner(eng, f"t{p}", p, 10_000_000) for p in (0, 1, 2)]
+    eng.shutdown()
+    k.run(until=70_000)
+    t0, t1, t2 = (t.cpu_time_ns for t in threads)
+    assert t1 / t0 == pytest.approx(2.0, rel=0.25)
+    assert t2 / t0 == pytest.approx(4.0, rel=0.25)
+
+
+def test_work_conservation():
+    k, eng = build(quantum=64)
+    for i in range(5):
+        spawn_spinner(eng, f"t{i}", i % 2, 1_000)
+    eng.shutdown()
+    k.run()
+    assert k.now == 5_000
+    assert all(t.state == "DONE" for t in eng.threads)
+
+
+def test_late_arrival_catches_up():
+    """A thread spawned later has zero vruntime and is favoured until it
+    catches up -- the CFS newcomer behaviour."""
+    k, eng = build(quantum=100)
+    early = spawn_spinner(eng, "early", 0, 1_000_000)
+
+    late = {}
+
+    def spawn_late():
+        late["t"] = spawn_spinner(eng, "late", 0, 1_000_000)
+
+    k.schedule(10_000, spawn_late)
+    eng.shutdown()
+    k.run(until=16_000)
+    # in the 6k ns after arrival the latecomer ran nearly exclusively
+    assert late["t"].cpu_time_ns > 5_000
+
+
+def test_invalid_weight_step_rejected():
+    with pytest.raises(SimulationError):
+        FairPolicy(weight_step=0)
+
+
+def test_linux_system_fair_scheduler_option():
+    from repro.hw import make_smp16
+    from repro.oslinux import LinuxSystem
+
+    k = Kernel()
+    sys_ = LinuxSystem(k, make_smp16(), scheduler="fair")
+    proc = sys_.spawn_process("app")
+    done = []
+
+    def worker():
+        yield Compute("ns", 1000)
+        done.append(1)
+
+    proc.pthread_create(worker())
+    sys_.shutdown()
+    k.run()
+    assert done == [1]
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        LinuxSystem(Kernel(), make_smp16(), scheduler="bogus")

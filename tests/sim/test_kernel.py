@@ -1,0 +1,114 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.sim.errors import SchedulingError
+
+
+def test_time_starts_at_zero():
+    assert Kernel().now == 0
+
+
+def test_schedule_and_run_advances_clock():
+    k = Kernel()
+    fired = []
+    k.schedule(100, fired.append, "a")
+    k.schedule(50, fired.append, "b")
+    k.run()
+    assert fired == ["b", "a"]
+    assert k.now == 100
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    k = Kernel()
+    fired = []
+    for i in range(10):
+        k.schedule(5, fired.append, i)
+    k.run()
+    assert fired == list(range(10))
+
+
+def test_schedule_at_absolute_time():
+    k = Kernel()
+    seen = []
+    k.schedule_at(42, lambda: seen.append(k.now))
+    k.run()
+    assert seen == [42]
+
+
+def test_negative_delay_rejected():
+    k = Kernel()
+    with pytest.raises(SchedulingError):
+        k.schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    k = Kernel()
+    k.schedule(100, lambda: None)
+    k.run()
+    with pytest.raises(SchedulingError):
+        k.schedule_at(50, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    k = Kernel()
+    fired = []
+    h = k.schedule(10, fired.append, "x")
+    h.cancel()
+    k.run()
+    assert fired == []
+    assert k.now == 0 or k.now == 10  # cancelled events may or may not advance time
+    assert k.pending() == 0
+
+
+def test_run_until_stops_before_future_events():
+    k = Kernel()
+    fired = []
+    k.schedule(10, fired.append, "early")
+    k.schedule(1000, fired.append, "late")
+    k.run(until=500)
+    assert fired == ["early"]
+    assert k.now == 500
+    k.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_max_events():
+    k = Kernel()
+    fired = []
+    for i in range(5):
+        k.schedule(i, fired.append, i)
+    k.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_during_run_are_processed():
+    k = Kernel()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            k.schedule(10, chain, n + 1)
+
+    k.schedule(0, chain, 0)
+    k.run()
+    assert fired == [0, 1, 2, 3]
+    assert k.now == 30
+
+
+def test_peek_skips_cancelled():
+    k = Kernel()
+    h = k.schedule(5, lambda: None)
+    k.schedule(9, lambda: None)
+    h.cancel()
+    assert k.peek() == 9
+
+
+def test_events_executed_counter():
+    k = Kernel()
+    for i in range(7):
+        k.schedule(i, lambda: None)
+    k.run()
+    assert k.events_executed == 7

@@ -1,0 +1,139 @@
+"""Tests for the Gantt renderer and the Pajé / Chrome exports."""
+
+import json
+
+import pytest
+
+from repro.trace import BEGIN, END, TraceEvent, intervals
+from repro.trace.analysis import Interval
+from repro.trace.export import write_chrome_trace, write_paje
+from repro.trace.gantt import render_gantt
+
+
+def iv(comp, name, start, dur):
+    return Interval(component=comp, category="x", name=name, start_ns=start, duration_ns=dur, args={})
+
+
+def ev(ts, seq, comp, name, phase):
+    return TraceEvent(ts, seq, comp, "middleware", name, phase)
+
+
+# -- gantt ---------------------------------------------------------------------
+
+
+def test_gantt_lanes_and_glyphs():
+    ivals = [iv("a", "send", 0, 50), iv("b", "receive", 50, 50)]
+    out = render_gantt(ivals, span_ns=100, width=10)
+    lines = out.splitlines()
+    lane_a = next(l for l in lines if l.startswith("a"))
+    lane_b = next(l for l in lines if l.startswith("b"))
+    assert "sssss....." in lane_a.replace(" ", "")[2:]
+    assert ".....rrrrr" in lane_b.replace(" ", "")[2:]
+    assert "legend" in lines[-1]
+
+
+def test_gantt_dominant_operation_wins_slot():
+    ivals = [iv("a", "send", 0, 90), iv("a", "receive", 90, 10)]
+    out = render_gantt(ivals, span_ns=100, width=1)
+    lane = [l for l in out.splitlines() if l.startswith("a")][0]
+    assert "|s|" in lane
+
+
+def test_gantt_unknown_operation_glyph():
+    out = render_gantt([iv("a", "mystery", 0, 100)], span_ns=100, width=4)
+    assert "####" in out
+
+
+def test_gantt_empty_and_validation():
+    assert render_gantt([]) == "(empty trace)"
+    with pytest.raises(ValueError):
+        render_gantt([], width=0)
+
+
+def test_gantt_component_filter():
+    ivals = [iv("a", "send", 0, 10), iv("b", "send", 0, 10)]
+    out = render_gantt(ivals, span_ns=10, width=4, components=["b"])
+    assert "a " not in out
+    assert any(l.startswith("b") for l in out.splitlines())
+
+
+def test_gantt_from_real_intervals():
+    events = [
+        ev(0, 1, "c", "send", BEGIN),
+        ev(100, 2, "c", "send", END),
+    ]
+    out = render_gantt(intervals(events), width=8)
+    assert "|ssssssss|" in out.replace(" ", "")
+
+
+# -- paje ----------------------------------------------------------------------------
+
+
+def test_paje_export_structure(tmp_path):
+    events = [
+        ev(0, 1, "comp", "send", BEGIN),
+        ev(1_000_000, 2, "comp", "send", END),
+    ]
+    path = tmp_path / "trace.paje"
+    n = write_paje(events, path)
+    text = path.read_text()
+    assert n == 2  # one state set + one idle return
+    assert "%EventDef PajeSetState" in text
+    assert '3 0.000000 C_comp CT_Comp 0 "comp"' in text
+    assert '4 0.000000000 C_comp ST_Op "send"' in text
+    assert '4 0.001000000 C_comp ST_Op "idle"' in text
+
+
+def test_paje_nested_intervals_return_to_idle_once(tmp_path):
+    events = [
+        ev(0, 1, "c", "outer", BEGIN),
+        ev(10, 2, "c", "inner", BEGIN),
+        ev(20, 3, "c", "inner", END),
+        ev(30, 4, "c", "outer", END),
+    ]
+    path = tmp_path / "t.paje"
+    write_paje(events, path)
+    idles = [l for l in path.read_text().splitlines() if '"idle"' in l]
+    assert len(idles) == 1
+
+
+# -- chrome trace ------------------------------------------------------------------------
+
+
+def test_chrome_trace_loads_as_json(tmp_path):
+    events = [
+        ev(0, 1, "compA", "send", BEGIN),
+        ev(5_000, 2, "compA", "send", END),
+        TraceEvent(7_000, 3, "compB", "lifecycle", "started", "I"),
+    ]
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(events, path)
+    records = json.loads(path.read_text())
+    assert n == 3
+    phases = [r["ph"] for r in records if r["ph"] != "M"]
+    assert phases == ["B", "E", "i"]
+    names = {r["args"]["name"] for r in records if r["ph"] == "M"}
+    assert names == {"compA", "compB"}
+    # timestamps are microseconds
+    b = next(r for r in records if r["ph"] == "B")
+    e = next(r for r in records if r["ph"] == "E")
+    assert e["ts"] - b["ts"] == pytest.approx(5.0)
+    assert b["tid"] == e["tid"]
+
+
+def test_chrome_trace_from_runtime(tmp_path):
+    from repro.runtime import SmpSimRuntime
+    from repro.trace.tracer import enable_tracing
+    from tests.runtime.conftest import make_pipeline_app
+
+    app = make_pipeline_app()
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    buffer = enable_tracing(rt)
+    rt.start()
+    rt.wait()
+    rt.stop()
+    path = tmp_path / "run.json"
+    n = write_chrome_trace(buffer.events(), path)
+    assert n == len(buffer)
+    json.loads(path.read_text())  # valid JSON

@@ -1,0 +1,77 @@
+"""End-to-end tracing over the simulated runtimes."""
+
+import pytest
+
+from repro.runtime import SmpSimRuntime
+from repro.trace import intervals, summarize_durations
+from repro.trace.tracer import enable_tracing
+
+from tests.runtime.conftest import make_pipeline_app
+
+
+def traced_run(n_messages=5):
+    app = make_pipeline_app(n_messages=n_messages)
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    buffer = enable_tracing(rt)
+    rt.start()
+    rt.wait()
+    rt.stop()
+    return rt, buffer
+
+
+def test_tracing_captures_sends_and_receives():
+    rt, buffer = traced_run()
+    ivals = intervals(buffer.events())
+    summary = summarize_durations(ivals)
+    assert summary[("prod", "send")]["count"] == 6  # 5 data + eos
+    assert summary[("cons", "receive")]["count"] == 6
+
+
+def test_tracing_captures_compute_with_args():
+    rt, buffer = traced_run()
+    computes = [e for e in buffer.events() if e.category == "compute" and e.phase == "B"]
+    assert computes
+    assert all("units" in e.args for e in computes)
+    assert {e.name for e in computes} == {"huffman_block", "idct_block"}
+
+
+def test_traced_timestamps_are_simulation_time():
+    rt, buffer = traced_run()
+    last = max(e.timestamp_ns for e in buffer.events())
+    assert last <= rt.makespan_ns
+
+
+def test_trace_durations_consistent_with_observation():
+    """Send durations measured by the trace match the probe's timer."""
+    app = make_pipeline_app(n_messages=10, payload_bytes=50_000)
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    buffer = enable_tracing(rt)
+    rt.start()
+    rt.wait()
+    reports = rt.collect()
+    rt.stop()
+    traced = summarize_durations(intervals(buffer.events()))[("prod", "send")]
+    observed = reports[("prod", "middleware")]["send"]
+    assert traced["count"] == observed["count"]
+    assert traced["mean_ns"] == pytest.approx(observed["mean_ns"], rel=0.01)
+
+
+def test_tracing_does_not_change_simulated_time():
+    """Tracing is observation infrastructure: zero virtual-time cost."""
+    app1 = make_pipeline_app()
+    rt1 = SmpSimRuntime()
+    rt1.run(app1)
+    rt1.stop()
+
+    rt2, _ = traced_run()
+    assert rt1.makespan_ns == rt2.makespan_ns
+
+
+def test_enable_tracing_requires_deploy():
+    rt = SmpSimRuntime()
+    app = make_pipeline_app()
+    rt._register(app)  # containers exist but contexts are missing
+    with pytest.raises(RuntimeError, match="deployed"):
+        enable_tracing(rt)
