@@ -1,0 +1,222 @@
+"""Perf-trajectory microbenchmarks: ``python -m repro bench``.
+
+Times the hot paths this codebase optimises -- entropy coding, the
+simulation kernel, tracing -- and writes two JSON artifacts in the
+current directory:
+
+- ``BENCH_mjpeg.json``  -- codec benches, including the entropy-decode
+  speedup of the LUT fast path over the pre-LUT per-symbol walk
+  (:func:`repro.mjpeg.decoder.decode_plane_reference`).
+- ``BENCH_kernel.json`` -- simulation-kernel and tracing benches.
+
+Every bench reports the best wall-clock time over several repetitions
+(minimum = least scheduler noise) plus a derived per-operation figure,
+so successive commits can be compared point-to-point.  ``--quick``
+shrinks the workloads for CI smoke runs; the numbers are noisier but
+the artifact shape is identical.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List
+
+
+def _best(fn: Callable[[], object], reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _frames(n_images: int):
+    from repro.mjpeg import generate_stream
+
+    stream = generate_stream(n_images, 96, 96, quality=75, seed=0)
+    return [record.frame for record in stream.records]
+
+
+def bench_mjpeg(quick: bool = False) -> Dict:
+    """Codec benches; returns the BENCH_mjpeg.json payload."""
+    import numpy as np
+
+    from repro.mjpeg.bitio import BitReader, BitWriter
+    from repro.mjpeg.decoder import decode_plane, decode_plane_reference
+    from repro.mjpeg.encoder import encode_plane
+
+    n_images = 2 if quick else 8
+    reps = 3 if quick else 9
+    frames = _frames(n_images)
+    n_blocks_total = sum(f.n_blocks for f in frames)
+
+    # Correctness gate: the fast path must match the reference walk
+    # bit-for-bit before its timing means anything.
+    for frame in frames:
+        fast = decode_plane(BitReader(frame.payload), frame.n_blocks)
+        ref = decode_plane_reference(BitReader(frame.payload), frame.n_blocks)
+        if not np.array_equal(fast, ref):
+            raise AssertionError("decode_plane mismatch vs reference walk")
+
+    t_fast = _best(
+        lambda: [decode_plane(BitReader(f.payload), f.n_blocks) for f in frames],
+        reps,
+    )
+    t_walk = _best(
+        lambda: [
+            decode_plane_reference(BitReader(f.payload), f.n_blocks) for f in frames
+        ],
+        reps,
+    )
+
+    qzzs = [np.asarray(f.qcoefs_zz, dtype=np.int32) for f in frames]
+
+    def run_encode() -> None:
+        for qzz in qzzs:
+            writer = BitWriter()
+            encode_plane(writer, qzz)
+            writer.align()
+            writer.getvalue()
+
+    t_encode = _best(run_encode, reps)
+
+    return {
+        "suite": "mjpeg",
+        "workload": {"images": n_images, "blocks": n_blocks_total, "reps": reps},
+        "benches": {
+            "entropy_decode_lut": {
+                "best_s": t_fast,
+                "us_per_block": t_fast / n_blocks_total * 1e6,
+            },
+            "entropy_decode_walk_baseline": {
+                "best_s": t_walk,
+                "us_per_block": t_walk / n_blocks_total * 1e6,
+            },
+            "entropy_encode": {
+                "best_s": t_encode,
+                "us_per_block": t_encode / n_blocks_total * 1e6,
+            },
+        },
+        "entropy_decode_speedup": t_walk / t_fast,
+    }
+
+
+def bench_kernel(quick: bool = False) -> Dict:
+    """Kernel + tracing benches; returns the BENCH_kernel.json payload."""
+    from repro.sim.kernel import Kernel
+    from repro.sim.process import Process, Timeout
+    from repro.sim.resources import Channel
+    from repro.trace.tracer import TraceBuffer, Tracer
+
+    n_events = 20_000 if quick else 200_000
+    n_msgs = 5_000 if quick else 50_000
+    n_cancel = 10_000 if quick else 100_000
+    n_emit = 20_000 if quick else 200_000
+    reps = 3 if quick else 5
+
+    def run_schedule() -> None:
+        kernel = Kernel()
+        noop = lambda: None  # noqa: E731
+        for i in range(n_events):
+            kernel.schedule(i % 97, noop)
+        kernel.run()
+
+    t_schedule = _best(run_schedule, reps)
+
+    def run_pingpong() -> None:
+        kernel = Kernel()
+        chan = Channel(kernel, name="bench")
+
+        def producer():
+            # yield between puts so every get really blocks and every
+            # wakeup rides the call_soon fast path
+            for i in range(n_msgs):
+                chan.put(i)
+                yield Timeout(0)
+
+        def consumer():
+            for _ in range(n_msgs):
+                yield from chan.get()
+
+        Process(kernel, consumer(), name="consumer")
+        Process(kernel, producer(), name="producer")
+        kernel.run()
+
+    t_pingpong = _best(run_pingpong, reps)
+
+    def run_cancel() -> None:
+        kernel = Kernel()
+        noop = lambda: None  # noqa: E731
+        handles = [kernel.schedule(i + 1, noop) for i in range(n_cancel)]
+        # Cancel every handle not on the immediate frontier; compaction
+        # keeps the heap from holding dead entries until their time.
+        for handle in handles[100:]:
+            handle.cancel()
+        kernel.run()
+
+    t_cancel = _best(run_cancel, reps)
+
+    def run_emit() -> None:
+        buffer = TraceBuffer(capacity=n_emit)
+        tracer = Tracer(buffer, "bench", lambda: 0)
+        emit = tracer.emit
+        for _ in range(n_emit):
+            emit("compute", "op", "I", units=1)
+
+    t_emit = _best(run_emit, reps)
+
+    return {
+        "suite": "kernel",
+        "workload": {
+            "events": n_events,
+            "messages": n_msgs,
+            "cancels": n_cancel,
+            "emits": n_emit,
+            "reps": reps,
+        },
+        "benches": {
+            "schedule_run": {
+                "best_s": t_schedule,
+                "ns_per_event": t_schedule / n_events * 1e9,
+            },
+            "channel_pingpong": {
+                "best_s": t_pingpong,
+                "ns_per_message": t_pingpong / n_msgs * 1e9,
+            },
+            "cancel_compact": {
+                "best_s": t_cancel,
+                "ns_per_cancel": t_cancel / n_cancel * 1e9,
+            },
+            "tracer_emit": {
+                "best_s": t_emit,
+                "ns_per_emit": t_emit / n_emit * 1e9,
+            },
+        },
+    }
+
+
+def run_benches(quick: bool = False, out_dir: str = ".") -> List[str]:
+    """Run both suites and write the JSON artifacts; returns the paths."""
+    import os
+
+    meta = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": quick,
+    }
+    paths = []
+    for name, payload in (
+        ("BENCH_kernel.json", bench_kernel(quick)),
+        ("BENCH_mjpeg.json", bench_mjpeg(quick)),
+    ):
+        payload["meta"] = meta
+        path = os.path.join(out_dir, name)
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        paths.append(path)
+    return paths

@@ -12,6 +12,10 @@ Commands
 ``observe``
     Run the quickstart pipeline on the native runtime and dump all three
     observation levels as JSON.
+``bench [--quick]``
+    Run the perf-trajectory microbenchmarks and write
+    ``BENCH_kernel.json`` / ``BENCH_mjpeg.json`` in the current
+    directory (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -116,6 +120,20 @@ def _cmd_observe(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_benches
+
+    paths = run_benches(quick=args.quick)
+    for path in paths:
+        with open(path) as fh:
+            payload = json.load(fh)
+        line = f"wrote {path}"
+        if "entropy_decode_speedup" in payload:
+            line += f"  (entropy decode speedup {payload['entropy_decode_speedup']:.2f}x)"
+        print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI parser."""
     parser = argparse.ArgumentParser(
@@ -134,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo_sti.add_argument("images", nargs="?", type=int, default=20)
 
     sub.add_parser("observe", help="observe a native-runtime pipeline, dump JSON")
+
+    bench = sub.add_parser("bench", help="run microbenches, write BENCH_*.json")
+    bench.add_argument(
+        "--quick", action="store_true", help="small workloads (CI smoke run)"
+    )
     return parser
 
 
@@ -148,6 +171,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _demo("sti7200", args.images)
     if args.command == "observe":
         return _cmd_observe(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -28,13 +28,167 @@ def decode_frame_bits(payload: bytes, n_blocks: int) -> np.ndarray:
     return decode_plane(reader, n_blocks)
 
 
+#: Magnitude masks / EXTEND thresholds indexed by category (<= 16).
+_EMASK = [(1 << i) - 1 for i in range(17)]
+_HALF = [0] + [1 << (i - 1) for i in range(1, 17)]
+_WMASK = _EMASK  # window-register masks; refill only needs indices < 16
+
+
 def decode_plane(
     reader: BitReader,
     n_blocks: int,
     dc_table=STD_DC_LUMA,
     ac_table=STD_AC_LUMA,
 ) -> np.ndarray:
-    """Decode one plane's blocks from the current reader position."""
+    """Decode one plane's blocks from the current reader position.
+
+    The hot path of the Fetch stage, inlined into one loop of small-int
+    ops.  The payload is reinterpreted as big-endian 32-bit words (one
+    vectorised ``np.frombuffer``, 1-padded past the end so the EOF window
+    convention falls out for free); a <= 48-bit window register is
+    refilled one word at a time, and the packed LUTs
+    (:attr:`HuffmanTable.lut_dc` / :attr:`~HuffmanTable.lut_ac`) resolve
+    code length, run and magnitude size in a single list index.  The
+    magnitude bits are extracted straight from the 16-bit window when the
+    whole symbol fits (the common case), so no wide-integer arithmetic
+    survives in the loop.  Decoded coefficients are gathered sparsely and
+    scattered into the output array in one numpy assignment.  Bit-exact
+    with :func:`decode_plane_reference` (the pre-LUT per-bit walk), which
+    the property tests enforce.
+    """
+    dc_lut = dc_table.lut_dc
+    ac_lut = ac_table.lut_ac
+    data = reader._data
+    total_bits = reader._nbytes * 8
+    start = reader.bits_read
+    # Word padding: 0xFF bytes so windows past EOF read as 1-bits (the
+    # JPEG convention) and two spare words so refills never bounds-check.
+    pad = (-reader._nbytes) % 4
+    words = np.frombuffer(data + b"\xff" * (pad + 8), dtype=">u4").tolist()
+    w = start >> 5
+    wbits = 32 - (start & 31)
+    wreg = words[w] & ((1 << wbits) - 1)
+    w += 1
+    avail = total_bits - start  # real (non-padding) bits left
+
+    idxs: list = []
+    vals: list = []
+    idx_append = idxs.append
+    val_append = vals.append
+    wmask = _WMASK
+    emask = _EMASK
+    half = _HALF
+    prev_dc = 0
+    base = 0
+    try:
+        for _ in range(n_blocks):
+            # -- DC symbol + EXTEND ------------------------------------
+            if wbits < 16:
+                wreg = ((wreg & wmask[wbits]) << 32) | words[w]
+                w += 1
+                wbits += 32
+            window = (wreg >> (wbits - 16)) & 0xFFFF
+            entry = dc_lut[window]
+            if entry <= 0:
+                if avail < 16:
+                    raise EOFError("bit stream exhausted")
+                raise DecodeError("invalid DC Huffman code")
+            need = entry >> 16
+            if need > avail:
+                raise EOFError("bit stream exhausted")
+            avail -= need
+            category = entry & 0xFF
+            if category:
+                if need <= 16:
+                    mag = (window >> (16 - need)) & emask[category]
+                    wbits -= need
+                else:
+                    if wbits < need:
+                        wreg = ((wreg & ((1 << wbits) - 1)) << 32) | words[w]
+                        w += 1
+                        wbits += 32
+                    wbits -= need
+                    mag = (wreg >> wbits) & emask[category]
+                if mag < half[category]:
+                    mag -= emask[category]
+                prev_dc += mag
+            else:
+                wbits -= need
+            if prev_dc:
+                idx_append(base)
+                val_append(prev_dc)
+
+            # -- AC symbols --------------------------------------------
+            k = 1
+            while k < 64:
+                if wbits < 16:
+                    wreg = ((wreg & wmask[wbits]) << 32) | words[w]
+                    w += 1
+                    wbits += 32
+                window = (wreg >> (wbits - 16)) & 0xFFFF
+                entry = ac_lut[window]
+                if entry > 0:
+                    need = entry >> 16
+                    if need > avail:
+                        raise EOFError("bit stream exhausted")
+                    avail -= need
+                    k += (entry >> 8) & 0xFF
+                    if k >= 64:
+                        raise DecodeError(f"AC run overflows block (k={k})")
+                    size = entry & 0xFF
+                    if size:
+                        if need <= 16:
+                            mag = (window >> (16 - need)) & emask[size]
+                            wbits -= need
+                        else:
+                            if wbits < need:
+                                wreg = ((wreg & ((1 << wbits) - 1)) << 32) | words[w]
+                                w += 1
+                                wbits += 32
+                            wbits -= need
+                            mag = (wreg >> wbits) & emask[size]
+                        if mag < half[size]:
+                            mag -= emask[size]
+                        idx_append(base + k)
+                        val_append(mag)
+                    else:
+                        wbits -= need
+                    k += 1
+                elif entry < 0:  # EOB; entry is -code_length
+                    if -entry > avail:
+                        raise EOFError("bit stream exhausted")
+                    avail += entry
+                    wbits += entry
+                    break
+                else:
+                    if avail < 16:
+                        raise EOFError("bit stream exhausted")
+                    raise DecodeError("invalid AC Huffman code")
+            base += 64
+    except EOFError as eof:
+        reader._seek_bit(total_bits - avail)
+        raise DecodeError("entropy segment truncated") from eof
+    except DecodeError:
+        reader._seek_bit(total_bits - avail)
+        raise
+    reader._seek_bit(total_bits - avail)
+    out = np.zeros(n_blocks * 64, dtype=np.int32)
+    if idxs:
+        out[np.asarray(idxs, dtype=np.intp)] = vals
+    return out.reshape(n_blocks, 64)
+
+
+def decode_plane_reference(
+    reader: BitReader,
+    n_blocks: int,
+    dc_table=STD_DC_LUMA,
+    ac_table=STD_AC_LUMA,
+) -> np.ndarray:
+    """The pre-LUT decode path: per-symbol F.16 MINCODE/MAXCODE walk.
+
+    Kept as the bit-exactness oracle for :func:`decode_plane` and as the
+    ``repro bench`` entropy-decode baseline.
+    """
     out = np.zeros((n_blocks, 64), dtype=np.int32)
     prev_dc = 0
     for b in range(n_blocks):
@@ -50,13 +204,13 @@ def _decode_block(
     ac_table=STD_AC_LUMA,
 ) -> int:
     try:
-        category = dc_table.decode(reader)
+        category = dc_table.decode_walk(reader)
         diff = decode_magnitude(reader, category)
         dc = prev_dc + diff
         zz[0] = dc
         k = 1
         while k < 64:
-            symbol = ac_table.decode(reader)
+            symbol = ac_table.decode_walk(reader)
             if symbol == EOB:
                 break
             if symbol == ZRL:

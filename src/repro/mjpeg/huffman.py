@@ -2,8 +2,15 @@
 
 Tables are defined by the standard's ``(BITS, HUFFVAL)`` pair: BITS[l] is
 the number of codes of length ``l+1``; HUFFVAL lists the symbol for each
-code in canonical order.  Decoding uses the MINCODE/MAXCODE/VALPTR walk
-of figure F.16 -- O(code length) per symbol with no tree allocation.
+code in canonical order.
+
+Decoding is a single flat-table lookup: a lazily built 2^16-entry LUT
+maps the next 16 bits of the stream (1-padded past EOF) directly to a
+packed ``(code_length << 8) | symbol`` entry, so each symbol costs one
+``peek16`` + one list index + one ``skip``.  The MINCODE/MAXCODE/VALPTR
+walk of figure F.16 is retained as :meth:`HuffmanTable.decode_walk` --
+the bit-exact reference the LUT is property-tested against, and the
+pre-LUT baseline the ``repro bench`` entropy microbench compares to.
 
 The shipped tables are the Annex K "typical" luminance tables; since the
 encoder and decoder share them, correctness is self-contained.
@@ -11,7 +18,7 @@ encoder and decoder share them, correctness is self-contained.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.mjpeg.bitio import BitReader, BitWriter
 
@@ -114,6 +121,80 @@ class HuffmanTable:
             code <<= 1
             if code > (1 << length) * 2:
                 raise ValueError(f"over-subscribed code space in table {name!r}")
+        self._lut: Optional[List[int]] = None  # built on first decode
+        self._lut_dc: Optional[List[int]] = None
+        self._lut_ac: Optional[List[int]] = None
+
+    @property
+    def lut(self) -> List[int]:
+        """The 2^16-entry decode table: index by the next 16 bits of the
+        stream; entry is ``(code_length << 8) | symbol``, 0 = invalid."""
+        return self._lut if self._lut is not None else self._build_lut()
+
+    @property
+    def lut_dc(self) -> List[int]:
+        """2^16-entry table specialised for DC decode: the symbol *is* the
+        magnitude category, so each entry packs the total consumption up
+        front as ``((code_length + category) << 16) | category`` (0 =
+        invalid).  ``decode_plane`` reads code and magnitude in one step."""
+        if self._lut_dc is None:
+            base = self.lut
+            out = [0] * (1 << 16)
+            for window, entry in enumerate(base):
+                if entry:
+                    length = entry >> 8
+                    category = entry & 0xFF
+                    out[window] = ((length + category) << 16) | category
+            self._lut_dc = out
+        return self._lut_dc
+
+    @property
+    def lut_ac(self) -> List[int]:
+        """2^16-entry table specialised for AC decode.  Entries are
+        ``((code_length + size) << 16) | (run << 8) | size`` for ordinary
+        run/size symbols (ZRL included: run=15, size=0), ``-code_length``
+        for EOB, and 0 for an invalid window."""
+        if self._lut_ac is None:
+            base = self.lut
+            out = [0] * (1 << 16)
+            for window, entry in enumerate(base):
+                if entry:
+                    length = entry >> 8
+                    symbol = entry & 0xFF
+                    if symbol == EOB:
+                        out[window] = -length
+                    else:
+                        run = symbol >> 4
+                        size = symbol & 0x0F
+                        out[window] = ((length + size) << 16) | (run << 8) | size
+            self._lut_ac = out
+        return self._lut_ac
+
+    def _build_lut(self) -> List[int]:
+        # Canonical codes in (length asc, code asc) order cover contiguous
+        # LUT intervals starting at 0: each code of length L owns the
+        # 2^(16-L) windows sharing its prefix.  Build with np.repeat and
+        # convert to a plain list for O(1) unboxed scalar indexing.
+        import numpy as np
+
+        packed: List[int] = []
+        widths: List[int] = []
+        for length in range(1, 17):
+            n = self.bits[length - 1]
+            k = self._valptr[length]
+            for i in range(n):
+                packed.append((length << 8) | self.values[k + i])
+                widths.append(1 << (16 - length))
+        if packed:
+            lut = np.repeat(
+                np.asarray(packed, dtype=np.int32), np.asarray(widths, dtype=np.int64)
+            )
+        else:
+            lut = np.zeros(0, dtype=np.int32)
+        if lut.shape[0] < 1 << 16:
+            lut = np.concatenate([lut, np.zeros((1 << 16) - lut.shape[0], dtype=np.int32)])
+        self._lut = lut.tolist()
+        return self._lut
 
     def encode(self, writer: BitWriter, symbol: int) -> int:
         """Write a symbol's code; returns the number of bits emitted."""
@@ -125,7 +206,29 @@ class HuffmanTable:
         return length
 
     def decode(self, reader: BitReader) -> int:
-        """Read one symbol (T.81 figure F.16 MINCODE/MAXCODE walk)."""
+        """Read one symbol via the flat 16-bit LUT.
+
+        Bit-exact with :meth:`decode_walk`, including error behaviour:
+        EOFError when the stream ends mid-code, ValueError on a window
+        that matches no code."""
+        lut = self._lut
+        if lut is None:
+            lut = self._build_lut()
+        entry = lut[reader.peek16()]
+        if entry:
+            reader.skip(entry >> 8)  # EOFError when the code overruns the data
+            return entry & 0xFF
+        if reader.bits_remaining() >= 16:
+            raise ValueError(f"invalid Huffman code in table {self.name!r}")
+        # Fewer than 16 real bits and none of their prefixes is a code:
+        # the walk would run out of bits before resolving.
+        raise EOFError("bit stream exhausted")
+
+    def decode_walk(self, reader: BitReader) -> int:
+        """Read one symbol (T.81 figure F.16 MINCODE/MAXCODE walk).
+
+        The pre-LUT reference path: O(code length) per symbol.  Kept for
+        property-testing the LUT and as the benchmark baseline."""
         code = reader.read_bit()
         length = 1
         while code > self._maxcode[length] or self.bits[length - 1] == 0:

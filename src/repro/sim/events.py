@@ -55,7 +55,9 @@ class Event:
         if self._triggered:
             # Resume at the current instant but asynchronously, so the
             # waiting process does not re-enter while another is running.
-            self.kernel.schedule(0, resume, self._value)
+            # call_soon keeps schedule(0, ...) FIFO semantics while
+            # skipping the heap (kernel fast path).
+            self.kernel.call_soon(resume, self._value)
         else:
             self._waiters.append(resume)
 
@@ -67,8 +69,9 @@ class Event:
         self._value = value
         waiters, self._waiters = self._waiters, []
         callbacks, self._callbacks = self._callbacks, []
+        call_soon = self.kernel.call_soon
         for resume in waiters:
-            self.kernel.schedule(0, resume, value)
+            call_soon(resume, value)
         for cb in callbacks:
             cb(value)
 

@@ -4,31 +4,82 @@ The kernel is intentionally minimal -- processes, events and resources are
 layered on top of ``schedule_at`` / ``run``.  Determinism contract: events
 with equal timestamps fire in scheduling order (FIFO tie-break via a
 monotonically increasing sequence number).
+
+Hot-path design notes
+---------------------
+The kernel is the inner loop of every simulated run, so it avoids three
+sources of interpreter overhead:
+
+- ``pending()`` is O(1): a live-event counter is maintained by
+  ``schedule``/``cancel``/``step`` instead of scanning the heap.
+- Same-instant wakeups (``call_soon``) bypass the heap entirely through a
+  FIFO side queue.  Ordering stays exactly as if they had gone through
+  the heap because both queues share one sequence-number domain and the
+  dispatcher merges them by ``(time, seq)``.
+- ``EventHandle`` objects are pooled.  A handle is recycled only when a
+  refcount probe proves no external reference survives, so user-held
+  handles (e.g. for a later ``cancel``) are never reused underneath them.
+
+When cancelled entries accumulate in the heap the kernel compacts it
+(filter + heapify), keeping ``peek``/``step`` from wading through
+tombstones.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.sim.errors import DeadlockError, SchedulingError
+
+#: Compaction threshold: rebuild the heap once at least this many cancelled
+#: entries linger *and* they make up half the heap.
+_COMPACT_MIN = 64
+
+#: Upper bound on pooled EventHandle objects.
+_POOL_MAX = 512
 
 
 class EventHandle:
     """Cancellable handle for a scheduled callback."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_kernel", "_queued", "_in_heap")
 
-    def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        kernel: Optional["Kernel"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._kernel = kernel
+        self._queued = kernel is not None
+        self._in_heap = False
 
     def cancel(self) -> None:
-        """Prevent the callback from firing.  Safe to call repeatedly."""
+        """Prevent the callback from firing.  Safe to call repeatedly,
+        including after the event has already fired (then a no-op)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        kernel = self._kernel
+        if kernel is not None and self._queued:
+            kernel._alive -= 1
+            if self._in_heap:
+                kernel._n_cancelled += 1
+                if (
+                    kernel._n_cancelled >= _COMPACT_MIN
+                    and kernel._n_cancelled * 2 >= len(kernel._heap)
+                ):
+                    kernel._compact()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -52,8 +103,12 @@ class Kernel:
         self._now: int = 0
         self._seq: int = 0
         self._heap: list[EventHandle] = []
+        self._imm: deque[EventHandle] = deque()  # same-instant FIFO fast path
         self._live_processes: int = 0  # maintained by Process
         self.events_executed: int = 0
+        self._alive: int = 0  # scheduled, not cancelled, not yet fired
+        self._n_cancelled: int = 0  # cancelled entries still queued
+        self._pool: list[EventHandle] = []
 
     @property
     def now(self) -> int:
@@ -70,32 +125,111 @@ class Kernel:
         """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
         if time_ns < self._now:
             raise SchedulingError(f"cannot schedule in the past: {time_ns} < {self._now}")
-        handle = EventHandle(int(time_ns), self._seq, callback, args)
-        self._seq += 1
+        handle = self._new_handle(int(time_ns), callback, args)
+        handle._in_heap = True
         heapq.heappush(self._heap, handle)
         return handle
 
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at the current instant, bypassing
+        the heap.  Equivalent to ``schedule(0, ...)`` -- including FIFO
+        ordering relative to it -- but O(1) with no sift costs; used by
+        the event/channel wakeup fast path."""
+        handle = self._new_handle(self._now, callback, args)
+        self._imm.append(handle)
+        return handle
+
+    def _new_handle(self, time_ns: int, callback: Callable[..., None], args: tuple) -> EventHandle:
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time_ns
+            handle.seq = self._seq
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+            handle._queued = True
+            handle._in_heap = False
+        else:
+            handle = EventHandle(time_ns, self._seq, callback, args, self)
+        self._seq += 1
+        self._alive += 1
+        return handle
+
+    def _discard(self, handle: EventHandle) -> None:
+        """Retire a dequeued handle: break refs and pool it when no
+        external reference can still reach it (refcount probe)."""
+        handle._queued = False
+        handle.callback = None  # type: ignore[assignment]
+        handle.args = ()
+        # Refs here: the caller's binding(s) + getrefcount's argument.
+        # <= 3 means nobody outside the kernel holds the handle.
+        if len(self._pool) < _POOL_MAX and sys.getrefcount(handle) <= 3:
+            self._pool.append(handle)
+
+    def _compact(self) -> None:
+        """Drop cancelled tombstones from the heap and re-heapify."""
+        heap = self._heap
+        live = [h for h in heap if not h.cancelled]
+        removed = len(heap) - len(live)
+        if not removed:
+            return
+        for h in heap:
+            if h.cancelled:
+                h._queued = False
+                h.callback = None  # type: ignore[assignment]
+                h.args = ()
+        self._n_cancelled -= removed
+        heapq.heapify(live)
+        self._heap = live
+
+    def _prune_heads(self) -> None:
+        """Pop cancelled entries off both queue heads."""
+        imm = self._imm
+        while imm and imm[0].cancelled:
+            self._discard(imm.popleft())
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            self._n_cancelled -= 1
+            self._discard(heapq.heappop(heap))
+
     def pending(self) -> int:
-        """Number of not-yet-cancelled scheduled callbacks."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of not-yet-cancelled scheduled callbacks.  O(1)."""
+        return self._alive
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next pending event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        self._prune_heads()
+        imm, heap = self._imm, self._heap
+        if imm:
+            if heap and (heap[0].time, heap[0].seq) < (imm[0].time, imm[0].seq):
+                return heap[0].time
+            return imm[0].time
+        return heap[0].time if heap else None
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when idle."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self._now = handle.time
-            self.events_executed += 1
-            handle.callback(*handle.args)
-            return True
-        return False
+        self._prune_heads()
+        imm, heap = self._imm, self._heap
+        if imm:
+            head = imm[0]
+            if heap and (heap[0].time, heap[0].seq) < (head.time, head.seq):
+                handle = heapq.heappop(heap)
+            else:
+                handle = imm.popleft()
+        elif heap:
+            handle = heapq.heappop(heap)
+        else:
+            return False
+        self._now = handle.time
+        self.events_executed += 1
+        self._alive -= 1
+        handle._queued = False
+        callback = handle.callback
+        args = handle.args
+        callback(*args)
+        self._discard(handle)
+        return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run until the queue drains, ``until`` is reached, or ``max_events``

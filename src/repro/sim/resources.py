@@ -12,6 +12,12 @@ All primitives expose *generator* acquire/get methods meant to be used with
 The generator pattern lets the fast path (resource free, item available)
 return without suspending, while the slow path blocks on an internal
 :class:`~repro.sim.events.Event`.  Wakeups are strictly FIFO.
+
+No-contention fast path: an uncontended ``Channel.put``/``get`` (item
+available, nobody blocked) completes synchronously -- no Event object is
+allocated and nothing is rescheduled through the kernel.  Contended
+wakeups ride :meth:`Kernel.call_soon`, which skips the scheduling heap
+while preserving FIFO order with ordinary zero-delay events.
 """
 
 from __future__ import annotations
@@ -137,16 +143,21 @@ class Channel:
 
     def _deliver(self, item: Any) -> None:
         self.total_put += 1
-        if self._getters:
-            self._getters.popleft().trigger(item)
+        getters = self._getters
+        if getters:
+            getters.popleft().trigger(item)
             self.total_got += 1
         else:
             self._items.append(item)
 
     def get(self) -> Generator[Command, Any, Any]:
-        """``item = yield from chan.get()`` -- wait for an item (FIFO)."""
-        if self._items:
-            item = self._items.popleft()
+        """``item = yield from chan.get()`` -- wait for an item (FIFO).
+
+        Fast path: with an item queued this returns without suspending
+        (and without allocating an Event)."""
+        items = self._items
+        if items:
+            item = items.popleft()
             self.total_got += 1
             if self._putters:
                 self._putters.popleft().trigger(None)

@@ -14,6 +14,10 @@ class TraceBuffer:
     Embedded targets cannot keep unbounded traces; when full, the oldest
     events are dropped and counted, so analyses can report truncation
     instead of silently lying.
+
+    The buffer stores whatever the tracers hand it -- in the hot path
+    that is a plain tuple, materialised into a :class:`TraceEvent` (with
+    its validation) only when :meth:`events` is called.
     """
 
     def __init__(self, capacity: int = 1_000_000) -> None:
@@ -36,8 +40,11 @@ class TraceBuffer:
         return self._seq
 
     def events(self) -> List[TraceEvent]:
-        """All buffered events (oldest first)."""
-        return list(self._events)
+        """All buffered events (oldest first), materialising any raw
+        tuples emitted through the allocation-light fast path."""
+        return [
+            e if type(e) is TraceEvent else TraceEvent(*e) for e in self._events
+        ]
 
     def __len__(self) -> int:
         return len(self._events)
@@ -64,19 +71,22 @@ class Tracer:
         name: str,
         phase: str = INSTANT,
         **args: Any,
-    ) -> TraceEvent:
-        """Record one event stamped with the clock and sequence."""
-        event = TraceEvent(
-            timestamp_ns=self.clock(),
-            seq=self.buffer.next_seq(),
-            component=self.component,
-            category=category,
-            name=name,
-            phase=phase,
-            args=args,
+    ) -> None:
+        """Record one event stamped with the clock and sequence.
+
+        Allocation-light: the event is buffered as a plain tuple -- no
+        dataclass construction, no validation -- and becomes a
+        :class:`TraceEvent` only if the buffer is read back.  On a
+        simulated run with tracing enabled this is the single hottest
+        observation call."""
+        buffer = self.buffer
+        events = buffer._events
+        if len(events) == buffer.capacity:
+            buffer.dropped += 1
+        buffer._seq += 1
+        events.append(
+            (self.clock(), buffer._seq, self.component, category, name, phase, args)
         )
-        self.buffer.append(event)
-        return event
 
 
 class TracingContext:
