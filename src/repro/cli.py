@@ -16,6 +16,11 @@ Commands
     Run the perf-trajectory microbenchmarks and write
     ``BENCH_kernel.json`` / ``BENCH_mjpeg.json`` in the current
     directory (see ``docs/performance.md``).
+``faults [--seed S] [--images N] [--drop-rate P] [--crashes K]``
+    Run a seeded chaos campaign over the MJPEG SMP demo (crashes,
+    drops, duplicates under supervision) and print the recovery
+    report; exits 1 unless every surviving frame is bit-exact (see
+    ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -134,6 +139,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import run_chaos_campaign
+
+    result = run_chaos_campaign(
+        seed=args.seed,
+        n_images=args.images,
+        drop_rate=args.drop_rate,
+        crashes=args.crashes,
+    )
+    print(json.dumps(result.summary(), indent=2))
+    for event in result.supervision:
+        print(
+            f"  t={event['t_ns'] / 1e6:10.3f}ms {event['component']:<8} "
+            f"{event['action']:<8} attempt={event['attempt']} {event['error']}"
+        )
+    if not result.ok:
+        print("FAIL: campaign did not deliver bit-exact surviving frames", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {result.frames_delivered}/{result.frames_expected} frames bit-exact "
+        f"after {result.restarts} restart(s), MTTR {result.mttr_us} us"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI parser."""
     parser = argparse.ArgumentParser(
@@ -157,6 +187,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quick", action="store_true", help="small workloads (CI smoke run)"
     )
+
+    faults = sub.add_parser(
+        "faults", help="seeded chaos campaign on the MJPEG SMP demo"
+    )
+    faults.add_argument("--seed", type=int, default=0, help="campaign seed")
+    faults.add_argument("--images", type=int, default=10, help="stream length")
+    faults.add_argument(
+        "--drop-rate", type=float, default=0.05, help="message-drop probability"
+    )
+    faults.add_argument("--crashes", type=int, default=3, help="scheduled crash count")
     return parser
 
 
@@ -173,6 +213,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_observe(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

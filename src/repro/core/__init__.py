@@ -26,7 +26,14 @@ simulated platforms -- the portability argument of the paper.
 from repro.core.application import Application
 from repro.core.component import Component, ComponentState
 from repro.core.context import ComponentContext
-from repro.core.errors import EmberaError, ConnectionError_, LifecycleError
+from repro.core.errors import (
+    ConnectionError_,
+    DeadlineError,
+    EmberaError,
+    EscalationError,
+    InjectedFault,
+    LifecycleError,
+)
 from repro.core.interfaces import OBSERVATION_INTERFACE, ProvidedInterface, RequiredInterface
 from repro.core.introspection import format_interfaces
 from repro.core.messages import CONTROL, DATA, OBSERVATION, Message, payload_nbytes
@@ -49,8 +56,11 @@ __all__ = [
     "ComponentContext",
     "ComponentState",
     "ConnectionError_",
+    "DeadlineError",
     "DATA",
     "EmberaError",
+    "EscalationError",
+    "InjectedFault",
     "LifecycleError",
     "MIDDLEWARE_LEVEL",
     "Message",

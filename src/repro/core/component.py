@@ -28,12 +28,18 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class ComponentState:
-    """Component life-cycle states (paper section 3.1)."""
+    """Component life-cycle states (paper section 3.1).
+
+    ``DEGRADED`` is the supervision extension: the component is lost but
+    the application keeps running with its traffic rerouted or dropped
+    (see :mod:`repro.faults.supervisor`).
+    """
     CREATED = "CREATED"
     DEPLOYED = "DEPLOYED"
     RUNNING = "RUNNING"
     STOPPED = "STOPPED"
     FAILED = "FAILED"
+    DEGRADED = "DEGRADED"
 
 
 BehaviorFn = Callable[["ComponentContext"], Generator]

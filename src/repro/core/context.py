@@ -26,6 +26,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.component import Component
     from repro.core.observation import ObservationProbe
 
+#: Transfer verdicts returned by a fault hook's ``on_transfer``.
+DELIVER = "deliver"
+DROP = "drop"
+DUPLICATE = "duplicate"
+
 
 class ComponentContext(ABC):
     """Abstract runtime services for one component."""
@@ -34,6 +39,11 @@ class ComponentContext(ABC):
         self.component = component
         self.probe = probe
         self._seq = 0
+        #: Optional fault-injection hook (see :mod:`repro.faults`).  The
+        #: hook interposes on every transfer/receive exactly where the
+        #: observation probe does, so faults -- like observation -- need
+        #: no change to behaviour code.
+        self.faults = None
 
     @property
     def name(self) -> str:
@@ -56,13 +66,25 @@ class ComponentContext(ABC):
         binding, charging transport costs.  Generator."""
 
     @abstractmethod
-    def _receive_from(self, provided) -> Generator:
+    def _receive_from(self, provided, timeout_ns: Optional[int] = None) -> Generator:
         """Block until a message is available on ``provided``; return it.
-        Generator."""
+        With ``timeout_ns`` set, raise
+        :class:`~repro.core.errors.DeadlineError` when the deadline
+        expires first.  Generator."""
 
     @abstractmethod
     def compute(self, opclass: str, units: float) -> Generator:
         """Declare ``units`` of ``opclass`` computational work.  Generator."""
+
+    def sleep(self, delay_ns: int) -> Generator:  # pragma: no cover - runtime-specific
+        """Suspend this execution flow for ``delay_ns`` (virtual time on
+        the simulated runtimes, wall time on the native one).  Generator."""
+        raise NotImplementedError
+
+    def _depth_of(self, provided) -> int:  # pragma: no cover - runtime-specific
+        """Current queue depth of a provided interface's binding (used by
+        the mailbox-overflow fault model)."""
+        raise NotImplementedError
 
     # -- public API used by behaviours ----------------------------------------
 
@@ -93,18 +115,36 @@ class ComponentContext(ABC):
             sent_at_us=self.now_us(),
         )
         t0 = self.now_ns()
-        yield from self._transfer(req.target, message)
+        faults = self.faults
+        verdict = DELIVER
+        if faults is not None:
+            verdict = yield from faults.on_transfer(self, required_name, req.target, message)
+        if verdict != DROP:
+            yield from self._transfer(req.target, message)
+            if verdict == DUPLICATE:
+                yield from self._transfer(req.target, message)
         if self.probe is not None:
+            # A dropped message was still *sent* by this component; the
+            # loss happens in transport, so send accounting is unchanged.
             self.probe.record_send(required_name, message, self.now_ns() - t0)
 
-    def receive(self, provided_name: str) -> Generator:
+    def receive(self, provided_name: str, timeout_ns: Optional[int] = None) -> Generator:
         """Receive the next message from a provided interface (blocking).
 
         ``msg = yield from ctx.receive("input")``
+
+        ``timeout_ns`` arms a per-receive deadline: when it expires before
+        a message arrives, :class:`~repro.core.errors.DeadlineError` is
+        raised (on every runtime).
         """
         prov = self.component.get_provided(provided_name)
+        faults = self.faults
+        if faults is not None:
+            yield from faults.before_receive(self, provided_name)
         t0 = self.now_ns()
-        message = yield from self._receive_from(prov)
+        message = yield from self._receive_from(prov, timeout_ns)
+        if faults is not None:
+            yield from faults.after_receive(self, provided_name, message)
         if self.probe is not None:
             self.probe.record_receive(
                 provided_name, message, self.now_ns() - t0, now_us=self.now_us()
@@ -145,9 +185,17 @@ class ComponentContext(ABC):
 
     def try_receive(self, provided_name: str):
         """Non-blocking receive; returns the message or None.  Not a
-        generator -- usable where polling semantics are wanted."""
+        generator -- usable where polling semantics are wanted.
+
+        Successful polls feed the observation probe just like blocking
+        receives, so Table-2 receive counts stay correct for polling
+        components (duration 0: the poll never blocked).
+        """
         prov = self.component.get_provided(provided_name)
-        return self._try_receive_from(prov)
+        message = self._try_receive_from(prov)
+        if message is not None and self.probe is not None:
+            self.probe.record_receive(provided_name, message, 0, now_us=self.now_us())
+        return message
 
     def _try_receive_from(self, provided):  # pragma: no cover - runtime-specific
         raise NotImplementedError

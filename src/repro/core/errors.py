@@ -20,3 +20,58 @@ class LifecycleError(EmberaError):
 
 class ObservationError(EmberaError):
     """Malformed observation request or unavailable observation level."""
+
+
+class DeadlineError(EmberaError):
+    """A blocking receive exceeded its deadline.
+
+    Carries enough context for a supervisor (or a test) to act on it:
+    the component, the interface it was blocked on, the deadline and the
+    time actually elapsed.
+    """
+
+    def __init__(
+        self,
+        component: str,
+        interface: str,
+        timeout_ns: int,
+        elapsed_ns: int | None = None,
+    ) -> None:
+        self.component = component
+        self.interface = interface
+        self.timeout_ns = int(timeout_ns)
+        self.elapsed_ns = int(elapsed_ns) if elapsed_ns is not None else self.timeout_ns
+        super().__init__(
+            f"receive on {component}.{interface} timed out after "
+            f"{self.elapsed_ns / 1e6:.3f} ms (deadline {self.timeout_ns / 1e6:.3f} ms)"
+        )
+
+
+class InjectedFault(EmberaError):
+    """A deterministic fault delivered by the fault-injection subsystem.
+
+    Raised inside a component's execution flow so that supervision (and
+    ordinary error propagation) treats injected faults exactly like
+    organic ones.
+    """
+
+    def __init__(self, component: str, kind: str, detail: str = "") -> None:
+        self.component = component
+        self.kind = kind
+        self.detail = detail
+        super().__init__(
+            f"injected {kind} fault in {component!r}" + (f": {detail}" if detail else "")
+        )
+
+
+class EscalationError(EmberaError):
+    """A supervised component failed permanently (restart budget spent)."""
+
+    def __init__(self, component: str, attempts: int, cause: BaseException) -> None:
+        self.component = component
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"component {component!r} failed permanently after {attempts} restart(s); "
+            f"last error: {cause!r}"
+        )

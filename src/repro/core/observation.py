@@ -91,6 +91,12 @@ class ObservationProbe:
         self.heap_bytes = 0
         self.heap_peak = 0
         self.heap_timeline: list = []  # (time_us, heap_bytes) samples
+        # Robustness extension: fault, restart and recovery accounting.
+        # Fed by the fault injector and the supervisor (never by the
+        # behaviour), reported next to the Table-2 counters.
+        self.fault_counts: Dict[str, int] = {}
+        self.restarts = 0
+        self.recovery_ns: list = []  # per-restart downtime samples (MTTR)
         #: Runtime-provided OS-level report: ``fn() -> dict``.
         self.os_adapter: Optional[Callable[[], Dict[str, Any]]] = None
         #: Runtime-provided middleware extras (e.g. live queue depths).
@@ -158,6 +164,16 @@ class ObservationProbe:
         self.heap_bytes -= nbytes
         self.heap_timeline.append((time_us, self.heap_bytes))
 
+    def record_fault(self, kind: str) -> None:
+        """Account one fault event (injected or organic) by kind."""
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+
+    def record_restart(self, downtime_ns: int) -> None:
+        """Account a supervised restart and its failure-to-restart
+        downtime -- the sample stream behind the MTTR report."""
+        self.restarts += 1
+        self.recovery_ns.append(int(downtime_ns))
+
     # -- reports --------------------------------------------------------------
 
     def report(self, level: str) -> Dict[str, Any]:
@@ -207,6 +223,7 @@ class ObservationProbe:
         return data
 
     def _application_report(self) -> Dict[str, Any]:
+        recovery = self.recovery_ns
         return {
             "structure": self.component.interfaces(),
             "sends": self.data_sends.snapshot(),
@@ -214,6 +231,11 @@ class ObservationProbe:
             "deposits": self.deposits.snapshot(),
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
+            "faults": {
+                "injected": dict(self.fault_counts),
+                "restarts": self.restarts,
+                "mttr_us": (sum(recovery) // len(recovery)) // 1_000 if recovery else 0,
+            },
         }
 
 

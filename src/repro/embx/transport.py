@@ -41,6 +41,10 @@ class EmbxError(Exception):
     """Raised on invalid transport usage."""
 
 
+class EmbxTimeout(EmbxError):
+    """An ``EMBX_Receive`` with a deadline expired before data arrived."""
+
+
 class DistributedObject:
     """A named shared-memory region readable through EMBX_Receive.
 
@@ -147,15 +151,27 @@ class EmbxTransport:
         self.sends += 1
         self.interrupts_by_cpu[obj.owner_cpu] = self.interrupts_by_cpu.get(obj.owner_cpu, 0) + 1
 
-    def receive(self, obj: DistributedObject) -> Generator[Command, Any, tuple]:
+    def receive(
+        self, obj: DistributedObject, timeout_ns: Optional[int] = None
+    ) -> Generator[Command, Any, tuple]:
         """``EMBX_Receive``: synchronous read from the distributed object.
 
         Blocks until a message is available, charges the calling CPU for
-        the read copy, and returns ``(payload, nbytes)``.
+        the read copy, and returns ``(payload, nbytes)``.  With
+        ``timeout_ns`` set, raises :class:`EmbxTimeout` when the deadline
+        expires first (the blocking-with-timeout variant of the API).
         """
         if obj.closed:
             raise EmbxError(f"receive on destroyed object {obj.name!r}")
-        payload, nbytes = yield from obj.queue.get()
+        if timeout_ns is None:
+            payload, nbytes = yield from obj.queue.get()
+        else:
+            ok, item = yield from obj.queue.get_with_deadline(timeout_ns)
+            if not ok:
+                raise EmbxTimeout(
+                    f"EMBX_Receive on {obj.name!r} expired after {timeout_ns} ns"
+                )
+            payload, nbytes = item
         yield Compute("memcpy_byte", self.effective_copy_bytes(nbytes))
         self.receives += 1
         return payload, nbytes

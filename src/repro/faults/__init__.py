@@ -1,0 +1,59 @@
+"""Fault injection and component supervision (robustness subsystem).
+
+See ``docs/robustness.md``.  Quick tour::
+
+    from repro.faults import FaultPlan, FaultInjector, Supervisor, RestartPolicy
+
+    plan = FaultPlan(seed=7).crash("IDCT_2", on_receive=12) \
+                            .drop("IDCT_2", "idctReorder", probability=0.05)
+    rt.deploy(app)
+    FaultInjector(plan).install(rt)
+    Supervisor(policy=RestartPolicy()).install(rt)
+    rt.start(); rt.wait()
+"""
+
+from repro.faults.campaign import CampaignResult, build_campaign_plan, run_chaos_campaign
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    CORRUPT,
+    CRASH,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    KINDS,
+    OVERFLOW,
+    STALL,
+)
+from repro.faults.supervisor import (
+    DegradePolicy,
+    HaltPolicy,
+    RestartPolicy,
+    SupervisionEvent,
+    Supervisor,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CORRUPT",
+    "CRASH",
+    "DELAY",
+    "DROP",
+    "DUPLICATE",
+    "DegradePolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "HaltPolicy",
+    "KINDS",
+    "OVERFLOW",
+    "RestartPolicy",
+    "STALL",
+    "SupervisionEvent",
+    "Supervisor",
+    "build_campaign_plan",
+    "run_chaos_campaign",
+]

@@ -1,0 +1,214 @@
+"""Seeded chaos campaigns over the MJPEG SMP demo.
+
+A campaign is two simulated runs of the same synthetic MJPEG stream on
+the 16-core SMP model:
+
+1. a **reference** run without faults, recording every decoded frame;
+2. a **chaos** run with a seed-derived :class:`~repro.faults.plan.FaultPlan`
+   (component crashes at deterministic receive counts, probabilistic
+   message drops and duplicates on named connections), supervised with a
+   restart policy, traced, and observed.
+
+The contract checked by :func:`run_chaos_campaign` is the paper-style
+robustness claim: despite crashes and message loss the application
+*completes*, every frame that survives is **bit-identical** to the
+reference run, and the recovery itself is visible through the ordinary
+observation machinery (fault counters, restart counts, MTTR, trace
+events) -- with zero changes to behaviour code.
+
+Replaying the same seed reproduces the fault schedule, the recovery
+timeline and the output digest bit-exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.core.observation import APPLICATION_LEVEL
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.supervisor import RestartPolicy, Supervisor
+from repro.mjpeg.components import BATCHES_PER_IMAGE, build_smp_assembly
+from repro.mjpeg.stream import generate_stream
+from repro.runtime.simulated import SmpSimRuntime
+from repro.sim.rng import RngRegistry
+from repro.trace.tracer import enable_tracing
+
+#: IDCT workers of the SMP assembly (crash victims, round-robin).
+_IDCTS = ("IDCT_1", "IDCT_2", "IDCT_3")
+
+
+@dataclass
+class CampaignResult:
+    """Everything a chaos campaign run produced."""
+
+    seed: int
+    n_images: int
+    plan: List[Dict[str, Any]]
+    schedule: List[Dict[str, Any]]  # the injector's chronological fault log
+    supervision: List[Dict[str, Any]]
+    injected: Dict[str, int]
+    restarts: int
+    mttr_us: int
+    frames_expected: int
+    frames_delivered: int
+    lost_frames: List[int] = field(default_factory=list)
+    bit_exact: bool = False
+    digest: str = ""
+    makespan_ns: int = 0
+    fault_trace_events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Campaign invariant: completed and every survivor bit-exact."""
+        return self.bit_exact and self.frames_delivered > 0
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly condensed result (CLI / CI output)."""
+        return {
+            "seed": self.seed,
+            "n_images": self.n_images,
+            "injected": self.injected,
+            "restarts": self.restarts,
+            "mttr_us": self.mttr_us,
+            "frames_expected": self.frames_expected,
+            "frames_delivered": self.frames_delivered,
+            "lost_frames": self.lost_frames,
+            "bit_exact": self.bit_exact,
+            "fault_trace_events": self.fault_trace_events,
+            "digest": self.digest,
+        }
+
+
+def build_campaign_plan(
+    seed: int,
+    n_images: int,
+    drop_rate: float = 0.05,
+    crashes: int = 3,
+    duplicate_rate: float = 0.05,
+) -> FaultPlan:
+    """Derive the deterministic fault plan for one campaign seed.
+
+    Crashes hit the IDCT workers round-robin at receive counts drawn from
+    the ``campaign.schedule`` stream; drops hit the ``IDCT_2 ->
+    idctReorder`` connection (one lossy link, so most frames survive);
+    duplicates hit ``IDCT_1 -> idctReorder`` (the reassembly stage must
+    dedupe them).
+    """
+    if n_images < 3:
+        raise ValueError(f"campaign needs at least 3 images, got {n_images}")
+    per_idct = (n_images - 1) * BATCHES_PER_IMAGE // len(_IDCTS)
+    if per_idct < 4:
+        raise ValueError("stream too short for the crash schedule")
+    rng = RngRegistry(seed).stream("campaign.schedule")
+    plan = FaultPlan(seed)
+    used = set()
+    for k in range(crashes):
+        component = _IDCTS[k % len(_IDCTS)]
+        while True:
+            on_receive = int(rng.integers(2, per_idct))
+            if (component, on_receive) not in used:
+                used.add((component, on_receive))
+                break
+        plan.crash(component, on_receive=on_receive)
+    if drop_rate > 0:
+        plan.drop("IDCT_2", "idctReorder", probability=drop_rate)
+    if duplicate_rate > 0:
+        plan.duplicate("IDCT_1", "idctReorder", probability=duplicate_rate)
+    return plan
+
+
+def _run_reference(stream) -> Dict[int, np.ndarray]:
+    """Fault-free run; returns the decoded frames by index."""
+    app = build_smp_assembly(
+        stream, use_stored_coefficients=True, keep_frames=True, with_observer=False
+    )
+    rt = SmpSimRuntime()
+    rt.run(app)
+    rt.stop()
+    return dict(app.components["Reorder"].frames)
+
+
+def run_chaos_campaign(
+    seed: int = 0,
+    n_images: int = 10,
+    drop_rate: float = 0.05,
+    crashes: int = 3,
+    max_attempts: int = 5,
+) -> CampaignResult:
+    """Run one seeded chaos campaign; see the module docstring."""
+    stream = generate_stream(n_images, 96, 96, quality=75, seed=seed)
+    reference = _run_reference(stream)
+
+    plan = build_campaign_plan(seed, n_images, drop_rate=drop_rate, crashes=crashes)
+    app = build_smp_assembly(
+        stream,
+        use_stored_coefficients=True,
+        keep_frames=True,
+        with_observer=True,
+        drop_incomplete=True,
+    )
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    buffer = enable_tracing(rt)
+    injector = FaultInjector(plan).install(rt)
+    supervisor = Supervisor(
+        policy=RestartPolicy(max_attempts=max_attempts, base_backoff_ns=200_000),
+        seed=seed,
+    ).install(rt)
+    rt.start()
+    rt.wait()
+    reports = rt.collect()
+    rt.stop()
+
+    delivered = dict(app.components["Reorder"].frames)
+    lost = sorted(set(reference) - set(delivered))
+    bit_exact = all(
+        index in reference and np.array_equal(image, reference[index])
+        for index, image in delivered.items()
+    )
+
+    restarts = 0
+    mttr_samples: List[int] = []
+    for comp in app.functional_components():
+        fault_report = reports[(comp.name, APPLICATION_LEVEL)]["faults"]
+        restarts += fault_report["restarts"]
+        if fault_report["restarts"]:
+            mttr_samples.extend(
+                [fault_report["mttr_us"]] * fault_report["restarts"]
+            )
+    mttr_us = sum(mttr_samples) // len(mttr_samples) if mttr_samples else 0
+
+    fault_events = [e for e in buffer.events() if e.category == "fault"]
+
+    digest = hashlib.sha256()
+    digest.update(json.dumps(plan.describe(), sort_keys=True).encode())
+    digest.update(json.dumps(injector.log, sort_keys=True).encode())
+    for ev in supervisor.events:
+        digest.update(repr(ev).encode())
+    for index in sorted(delivered):
+        digest.update(index.to_bytes(4, "little"))
+        digest.update(delivered[index].tobytes())
+
+    return CampaignResult(
+        seed=seed,
+        n_images=n_images,
+        plan=plan.describe(),
+        schedule=list(injector.log),
+        supervision=[ev.__dict__ for ev in supervisor.events],
+        injected=injector.counts(),
+        restarts=restarts,
+        mttr_us=mttr_us,
+        frames_expected=len(reference),
+        frames_delivered=len(delivered),
+        lost_frames=lost,
+        bit_exact=bit_exact,
+        digest=digest.hexdigest(),
+        makespan_ns=rt.makespan_ns or 0,
+        fault_trace_events=len(fault_events),
+    )

@@ -1,0 +1,229 @@
+"""Component supervision: restart, degrade or halt on failure.
+
+The :class:`Supervisor` wraps a covered component's behaviour generator in
+a fault-handling *flow* (installed through
+:meth:`repro.runtime.base.Runtime._behavior_body`, so it works identically
+on the simulated and native runtimes).  When the behaviour raises --
+an :class:`~repro.core.errors.InjectedFault`, a
+:class:`~repro.core.errors.DeadlineError`, or any organic error -- the
+component's policy decides what happens next:
+
+``restart``
+    Wait an exponentially growing, jittered backoff, then run a *fresh*
+    behaviour generator.  After ``max_attempts`` consecutive failures the
+    fault escalates as :class:`~repro.core.errors.EscalationError`.
+``degrade``
+    Mark the component ``DEGRADED``, disconnect the required interfaces
+    feeding it (senders that re-evaluate their connections reroute; the
+    rest of the application keeps running) and end the flow cleanly.
+``halt``
+    Re-raise: the failure propagates and fails the application -- the
+    pre-supervision behaviour, made explicit.
+
+Every decision is recorded as a :class:`SupervisionEvent`, surfaced
+through the component's observation probe (restart count, MTTR samples)
+and -- when tracing is enabled -- as ``fault``-category trace events, so
+recovery is *observed* with the same machinery as ordinary execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.core.component import ComponentState
+from repro.core.errors import EscalationError
+from repro.sim.errors import ProcessKilled
+from repro.sim.rng import RngRegistry
+
+RESTART = "restart"
+DEGRADE = "degrade"
+HALT = "halt"
+ESCALATE = "escalate"
+
+
+@dataclass(frozen=True)
+class SupervisionEvent:
+    """One supervision decision, in failure-time order."""
+
+    t_ns: int
+    component: str
+    action: str  # restart | degrade | halt | escalate
+    attempt: int
+    error: str
+    backoff_ns: int = 0
+
+
+class RestartPolicy:
+    """Exponential backoff with deterministic jitter, then escalation."""
+
+    action = RESTART
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_backoff_ns: int = 1_000_000,
+        factor: float = 2.0,
+        max_backoff_ns: int = 1_000_000_000,
+        jitter: float = 0.1,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_backoff_ns < 0 or max_backoff_ns < base_backoff_ns:
+            raise ValueError("invalid backoff bounds")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_backoff_ns = base_backoff_ns
+        self.factor = factor
+        self.max_backoff_ns = max_backoff_ns
+        self.jitter = jitter
+
+    def backoff_ns(self, attempt: int, rng) -> int:
+        """Backoff before restart ``attempt`` (1-based), jittered by
+        ``rng`` (a seeded stream, so schedules stay reproducible)."""
+        raw = self.base_backoff_ns * (self.factor ** (attempt - 1))
+        raw = min(raw, self.max_backoff_ns)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return max(0, int(raw))
+
+
+class DegradePolicy:
+    """Give the component up but keep the application alive."""
+
+    action = DEGRADE
+
+
+class HaltPolicy:
+    """Fail fast: propagate the error (no supervision semantics)."""
+
+    action = HALT
+
+
+class Supervisor:
+    """Per-component failure policies plus the recovery flow."""
+
+    def __init__(self, policy=None, seed: int = 0) -> None:
+        #: Policy for components without an explicit one; ``None`` leaves
+        #: them uncovered (raw behaviour, pre-supervision semantics).
+        self.default_policy = policy
+        self.seed = seed
+        self._policies: Dict[str, Any] = {}
+        self._rng = RngRegistry(seed)
+        self.events: List[SupervisionEvent] = []
+        self.runtime = None
+
+    # -- configuration ---------------------------------------------------------
+
+    def set_policy(self, component_name: str, policy) -> "Supervisor":
+        """Assign a policy to one component (fluent)."""
+        self._policies[component_name] = policy
+        return self
+
+    def policy_for(self, component_name: str):
+        """The effective policy of a component (explicit, else default)."""
+        return self._policies.get(component_name, self.default_policy)
+
+    def covers(self, component_name: str) -> bool:
+        """True when failures of this component route through the flow."""
+        return self.policy_for(component_name) is not None
+
+    def install(self, runtime) -> "Supervisor":
+        """Attach to a runtime (between ``deploy()`` and ``start()``)."""
+        if runtime.supervisor is not None and runtime.supervisor is not self:
+            raise RuntimeError("runtime already has a supervisor")
+        runtime.supervisor = self
+        self.runtime = runtime
+        return self
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        """Summary of supervision activity (JSON-friendly)."""
+        per_component: Dict[str, Dict[str, int]] = {}
+        for ev in self.events:
+            slot = per_component.setdefault(ev.component, {})
+            slot[ev.action] = slot.get(ev.action, 0) + 1
+        return {
+            "events": [ev.__dict__ for ev in self.events],
+            "per_component": per_component,
+            "restarts": sum(1 for ev in self.events if ev.action == RESTART),
+            "escalations": sum(1 for ev in self.events if ev.action == ESCALATE),
+        }
+
+    # -- the recovery flow -----------------------------------------------------
+
+    def _note(self, cont, event: SupervisionEvent) -> None:
+        self.events.append(event)
+        tracer = cont.extra.get("tracer")
+        if tracer is not None:
+            tracer.emit(
+                "fault", event.action, attempt=event.attempt,
+                error=event.error, backoff_ns=event.backoff_ns,
+            )
+
+    def flow(self, runtime, cont) -> Generator:
+        """The supervised execution flow of one component (a generator
+        the runtime spawns in place of the raw behaviour)."""
+        comp, ctx, probe = cont.component, cont.context, cont.probe
+        policy = self.policy_for(comp.name)
+        rng = self._rng.stream(f"supervisor.backoff.{comp.name}")
+        attempt = 0
+        while True:
+            try:
+                result = yield from comp.behavior(ctx)
+                return result
+            except (ProcessKilled, GeneratorExit):
+                raise  # external termination, not a component fault
+            except Exception as error:  # noqa: BLE001 - policy decides
+                failed_at = ctx.now_ns()
+                comp.state = ComponentState.FAILED
+                action = policy.action
+                if action == HALT:
+                    self._note(
+                        cont,
+                        SupervisionEvent(failed_at, comp.name, HALT, attempt, repr(error)),
+                    )
+                    raise
+                if action == DEGRADE:
+                    self._note(
+                        cont,
+                        SupervisionEvent(failed_at, comp.name, DEGRADE, attempt, repr(error)),
+                    )
+                    self._disconnect_inbound(comp)
+                    comp.state = ComponentState.DEGRADED
+                    return None
+                # restart
+                attempt += 1
+                if attempt > policy.max_attempts:
+                    self._note(
+                        cont,
+                        SupervisionEvent(failed_at, comp.name, ESCALATE, attempt - 1, repr(error)),
+                    )
+                    raise EscalationError(comp.name, attempt - 1, error) from error
+                backoff = policy.backoff_ns(attempt, rng)
+                self._note(
+                    cont,
+                    SupervisionEvent(
+                        failed_at, comp.name, RESTART, attempt, repr(error), backoff
+                    ),
+                )
+                if backoff:
+                    yield from ctx.sleep(backoff)
+                if probe is not None:
+                    probe.record_restart(ctx.now_ns() - failed_at)
+                comp.state = ComponentState.RUNNING
+                # loop: a *fresh* behaviour generator; mailbox bindings and
+                # connections survive, in-flight messages are preserved.
+
+    @staticmethod
+    def _disconnect_inbound(comp) -> None:
+        """Detach every data connection feeding the degraded component.
+        Senders that re-evaluate their targets (e.g. Fetch's per-frame
+        ``idct_targets``) reroute traffic away from it."""
+        for prov in comp.provided.values():
+            if prov.is_observation:
+                continue
+            for req in list(prov.connected_from):
+                req.disconnect()

@@ -149,6 +149,7 @@ class ReorderComponent(Component):
         n_upstream: Optional[int] = 3,
         batches_per_image: int = BATCHES_PER_IMAGE,
         keep_frames: bool = False,
+        drop_incomplete: bool = False,
     ) -> None:
         super().__init__(name)
         self.height = height
@@ -158,7 +159,16 @@ class ReorderComponent(Component):
         self.n_upstream = n_upstream
         self.batches_per_image = batches_per_image
         self.keep_frames = keep_frames
+        #: Lossy-transport mode: frames still incomplete at end-of-stream
+        #: are discarded (and logged) instead of failing the component.
+        #: Fault-injection campaigns set this so dropped batches cost the
+        #: affected frame, not the whole pipeline.
+        self.drop_incomplete = drop_incomplete
         self.frames: Dict[int, np.ndarray] = {}
+        #: Indices of frames fully reassembled and delivered to display.
+        #: Also the duplicate filter: a re-delivered batch of a finished
+        #: frame must not resurrect it as a phantom pending frame.
+        self.completed_indices: set = set()
         self.add_provided("idctReorder")
         self.add_provided("display")
 
@@ -179,7 +189,10 @@ class ReorderComponent(Component):
                 eos_seen += 1
                 continue
             item = msg.payload
-            frame_batches = pending.setdefault(item["frame"], {})
+            index = item["frame"]
+            if index in self.completed_indices:
+                continue  # duplicated batch of an already-delivered frame
+            frame_batches = pending.setdefault(index, {})
             frame_batches[item["batch"]] = item["pixels"]
             if len(frame_batches) == self.batches_per_image:
                 batches = [frame_batches[i] for i in range(self.batches_per_image)]
@@ -187,14 +200,18 @@ class ReorderComponent(Component):
                 yield from ctx.compute("reorder_block", n_blocks)
                 yield from ctx.deposit("display", image, tag=TAG_FRAME)
                 if self.keep_frames:
-                    self.frames[item["frame"]] = image
-                del pending[item["frame"]]
+                    self.frames[index] = image
+                del pending[index]
+                self.completed_indices.add(index)
                 completed += 1
         if pending:
-            raise RuntimeError(
-                f"reorder finished with {len(pending)} incomplete frame(s): "
-                f"{sorted(pending)[:5]}"
-            )
+            if not self.drop_incomplete:
+                raise RuntimeError(
+                    f"reorder finished with {len(pending)} incomplete frame(s): "
+                    f"{sorted(pending)[:5]}"
+                )
+            ctx.log(f"dropped {len(pending)} incomplete frame(s): {sorted(pending)}")
+            pending.clear()
         return completed
 
 
@@ -271,6 +288,7 @@ def build_smp_assembly(
     use_stored_coefficients: bool = False,
     keep_frames: bool = False,
     with_observer: bool = True,
+    drop_incomplete: bool = False,
 ) -> Application:
     """The Figure 3 application: Fetch + n IDCT + Reorder."""
     app = Application("mjpeg-smp")
@@ -282,7 +300,12 @@ def build_smp_assembly(
     idcts = [app.add(IdctComponent(f"IDCT_{i}", i)) for i in range(1, n_idct + 1)]
     reorder = app.add(
         ReorderComponent(
-            "Reorder", stream.height, stream.width, n_upstream=n_idct, keep_frames=keep_frames
+            "Reorder",
+            stream.height,
+            stream.width,
+            n_upstream=n_idct,
+            keep_frames=keep_frames,
+            drop_incomplete=drop_incomplete,
         )
     )
     for i, idct in enumerate(idcts, start=1):

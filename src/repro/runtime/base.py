@@ -41,6 +41,11 @@ class Runtime(ABC):
         #: Default observation policy for every probe; a component may
         #: override it via ``comp.place(observation_policy=...)``.
         self.observation_policy = None
+        #: Optional :class:`repro.faults.Supervisor` (set by
+        #: ``supervisor.install(runtime)`` between deploy and start).
+        #: When present, covered components run inside its restart /
+        #: degrade / halt flow instead of failing the whole application.
+        self.supervisor = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -179,8 +184,19 @@ class Runtime(ABC):
             raise RuntimeError_("no observer attached; call app.attach_observer() before deploy")
         return [(t, level) for t in self.app.observer.targets for level in LEVELS]
 
+    def _behavior_body(self, cont: ComponentContainer):
+        """The generator actually spawned for a component's execution
+        flow: the raw behaviour, or the supervisor's fault-handling flow
+        wrapped around it when supervision covers the component."""
+        sup = self.supervisor
+        if sup is not None and sup.covers(cont.component.name):
+            return sup.flow(self, cont)
+        return cont.component.behavior(cont.context)
+
     def _mark_running(self, comp: Component) -> None:
         comp.state = ComponentState.RUNNING
 
     def _mark_stopped(self, comp: Component, failed: bool = False) -> None:
+        if comp.state == ComponentState.DEGRADED and not failed:
+            return  # a degraded component stays observable as DEGRADED
         comp.state = ComponentState.FAILED if failed else ComponentState.STOPPED

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.application import Application
 from repro.core.component import Component
 from repro.core.context import ComponentContext
+from repro.core.errors import DeadlineError
 from repro.core.messages import CONTROL, Message
 from repro.core.observation import ObservationProbe, observation_service_behavior
 from repro.core.observer import ObserverComponent
@@ -114,16 +115,38 @@ class NativeContext(ComponentContext):
         return
         yield  # pragma: no cover
 
-    def _receive_from(self, provided) -> Generator:
+    def sleep(self, delay_ns: int) -> Generator:
+        """Suspend for ``delay_ns`` of real time."""
+        time.sleep(delay_ns / 1e9)
+        return
+        yield  # pragma: no cover
+
+    def _receive_from(self, provided, timeout_ns: Optional[int] = None) -> Generator:
+        # Deadline precedence: explicit per-call timeout, then the
+        # component's placed receive_timeout_s, then the runtime default
+        # (the old hard-coded deadlock guess, now a typed deadline).
+        if timeout_ns is None:
+            timeout_s = self.component.placement.get(
+                "receive_timeout_s", self.runtime.receive_timeout_s
+            )
+            timeout_ns = int(timeout_s * 1e9)
+        else:
+            timeout_s = timeout_ns / 1e9
+        t0 = time.perf_counter_ns()
         try:
-            message = provided.binding.get(timeout=self.runtime.receive_timeout_s)
+            message = provided.binding.get(timeout=timeout_s)
         except queue.Empty:
-            raise RuntimeError_(
-                f"receive on {provided.qualified_name} timed out after "
-                f"{self.runtime.receive_timeout_s}s -- likely deadlock"
+            raise DeadlineError(
+                self.component.name,
+                provided.name,
+                timeout_ns,
+                elapsed_ns=time.perf_counter_ns() - t0,
             ) from None
         return message
         yield  # pragma: no cover
+
+    def _depth_of(self, provided) -> int:
+        return provided.binding.queue.qsize()
 
     def _try_receive_from(self, provided):
         ok, message = provided.binding.try_get()
@@ -235,7 +258,7 @@ class NativeRuntime(Runtime):
         cont.extra["thread_cpu_t0"] = time.thread_time_ns()
         self._mark_running(comp)
         try:
-            drive(comp.behavior(ctx))
+            drive(self._behavior_body(cont))
         except BaseException as error:  # noqa: BLE001 - reported in wait()
             with self._lock:
                 self._errors[comp.name] = error
@@ -249,7 +272,7 @@ class NativeRuntime(Runtime):
     def _run_service(self, cont: ComponentContainer) -> None:
         try:
             drive(observation_service_behavior(cont.service_context, cont.probe))
-        except RuntimeError_:
+        except (RuntimeError_, DeadlineError):
             pass  # receive timeout at teardown is benign for a daemon service
 
     def wait(self) -> None:

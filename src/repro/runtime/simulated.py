@@ -30,10 +30,11 @@ from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
 from repro.core.application import Application
 from repro.core.component import Component
 from repro.core.context import ComponentContext
+from repro.core.errors import DeadlineError
 from repro.core.messages import CONTROL, Message
 from repro.core.observation import ObservationProbe, observation_service_behavior
 from repro.core.observer import ObserverComponent
-from repro.embx.transport import DEFAULT_OBJECT_BYTES, EmbxTransport
+from repro.embx.transport import DEFAULT_OBJECT_BYTES, EmbxTimeout, EmbxTransport
 from repro.hw.platform import Platform
 from repro.hw.smp16 import make_smp16
 from repro.hw.sti7200 import make_sti7200
@@ -84,15 +85,27 @@ class SimContext(ComponentContext):
         """Declare computational work (see ComponentContext.compute)."""
         yield Compute(opclass, units)
 
+    def sleep(self, delay_ns: int) -> Generator:
+        """Suspend for ``delay_ns`` of virtual time."""
+        from repro.sim.process import Timeout
+
+        yield Timeout(int(delay_ns))
+
     def _transfer(self, target, message: Message) -> Generator:
         yield from self.runtime._transfer(self.component, target, message)
 
-    def _receive_from(self, provided) -> Generator:
-        message = yield from self.runtime._receive(self.component, provided)
+    def _receive_from(self, provided, timeout_ns: Optional[int] = None) -> Generator:
+        message = yield from self.runtime._receive(self.component, provided, timeout_ns)
         return message
 
     def _try_receive_from(self, provided):
         return self.runtime._try_receive(provided)
+
+    def _depth_of(self, provided) -> int:
+        binding = provided.binding
+        if isinstance(binding, Channel):
+            return len(binding)
+        return len(self.runtime._data_queue(provided))
 
     def _alloc(self, nbytes: int, label: str):
         return self.runtime._component_alloc(self.component, nbytes, label)
@@ -147,18 +160,25 @@ class SimRuntime(Runtime):
         yield Compute("syscall", OBS_CHANNEL_SYSCALLS)
         target.binding.put(message)
 
-    def _receive(self, dst: Component, provided) -> Generator:
+    def _receive(self, dst: Component, provided, timeout_ns: Optional[int] = None) -> Generator:
         binding = provided.binding
         if binding is None:
             raise RuntimeError_(f"interface {provided.qualified_name} has no binding")
         if isinstance(binding, Channel):  # observation channel
-            message = yield from binding.get()
+            if timeout_ns is None:
+                message = yield from binding.get()
+            else:
+                ok, message = yield from binding.get_with_deadline(timeout_ns)
+                if not ok:
+                    raise DeadlineError(dst.name, provided.name, timeout_ns)
             yield Compute("syscall", OBS_CHANNEL_SYSCALLS)
             return message
-        message = yield from self._receive_data(dst, provided)
+        message = yield from self._receive_data(dst, provided, timeout_ns)
         return message
 
-    def _receive_data(self, dst: Component, provided) -> Generator:
+    def _receive_data(
+        self, dst: Component, provided, timeout_ns: Optional[int] = None
+    ) -> Generator:
         raise NotImplementedError
 
     def _try_receive(self, provided):
@@ -236,7 +256,7 @@ class SimRuntime(Runtime):
         probe.started_at_us = ctx.now_us()
         self._mark_running(component)
         try:
-            result = yield from component.behavior(ctx)
+            result = yield from self._behavior_body(cont)
         except BaseException:
             probe.ended_at_us = ctx.now_us()
             self._mark_stopped(component, failed=True)
@@ -445,9 +465,16 @@ class SmpSimRuntime(SimRuntime):
         mailbox.written_bytes += message.size_bytes
         mailbox.channel.put(message)
 
-    def _receive_data(self, dst: Component, provided) -> Generator:
+    def _receive_data(
+        self, dst: Component, provided, timeout_ns: Optional[int] = None
+    ) -> Generator:
         mailbox: SimMailbox = provided.binding
-        message = yield from mailbox.channel.get()
+        if timeout_ns is None:
+            message = yield from mailbox.channel.get()
+        else:
+            ok, message = yield from mailbox.channel.get_with_deadline(timeout_ns)
+            if not ok:
+                raise DeadlineError(dst.name, provided.name, timeout_ns)
         # The receiver copies the message out of the mailbox; the mailbox
         # is homed on the receiver's node, so no NUMA factor applies.
         yield Compute("memcpy_byte", message.size_bytes)
@@ -579,8 +606,13 @@ class Sti7200SimRuntime(SimRuntime):
             return
         yield from self.embx.send(target.binding, message, nbytes=message.size_bytes)
 
-    def _receive_data(self, dst: Component, provided) -> Generator:
-        payload, _nbytes = yield from self.embx.receive(provided.binding)
+    def _receive_data(
+        self, dst: Component, provided, timeout_ns: Optional[int] = None
+    ) -> Generator:
+        try:
+            payload, _nbytes = yield from self.embx.receive(provided.binding, timeout_ns)
+        except EmbxTimeout:
+            raise DeadlineError(dst.name, provided.name, timeout_ns) from None
         return payload
 
     def _data_queue(self, provided) -> Channel:

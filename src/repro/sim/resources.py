@@ -30,6 +30,10 @@ from repro.sim.events import Event
 from repro.sim.kernel import Kernel
 from repro.sim.process import Command, WaitEvent
 
+#: Sentinel delivered to a getter whose deadline expired.  Private to the
+#: module so it can never collide with a user item.
+_DEADLINE = object()
+
 
 class Semaphore:
     """Counting semaphore with FIFO wakeup order."""
@@ -168,6 +172,48 @@ class Channel:
         if self._putters:
             self._putters.popleft().trigger(None)
         return item
+
+    def get_with_deadline(self, timeout_ns: int) -> Generator[Command, Any, tuple[bool, Any]]:
+        """``ok, item = yield from chan.get_with_deadline(ns)`` -- wait for
+        an item, but at most ``timeout_ns``; returns ``(False, None)`` on
+        expiry.
+
+        The deadline is a kernel timer raced against delivery.  Whichever
+        side loses is retired immediately -- the timer is cancelled on
+        delivery, the getter is unregistered on expiry -- so repeated
+        deadline receives leak neither timers (``Kernel.pending()``
+        returns to baseline) nor ghost getters (FIFO wakeup order is
+        preserved for later arrivals).
+        """
+        if timeout_ns < 0:
+            raise SimulationError(f"negative deadline: {timeout_ns}")
+        items = self._items
+        if items:
+            item = items.popleft()
+            self.total_got += 1
+            if self._putters:
+                self._putters.popleft().trigger(None)
+            return True, item
+        ev = Event(self.kernel, name=f"{self.name}.get")
+        self._getters.append(ev)
+        timer = self.kernel.schedule(timeout_ns, self._expire_getter, ev)
+        item = yield WaitEvent(ev)
+        if item is _DEADLINE:
+            return False, None
+        timer.cancel()
+        if self._putters:
+            self._putters.popleft().trigger(None)
+        return True, item
+
+    def _expire_getter(self, ev: Event) -> None:
+        """Deadline timer callback: retire the getter unless it already won."""
+        if ev.triggered:
+            return  # delivery beat the timer at the same instant
+        try:
+            self._getters.remove(ev)
+        except ValueError:  # pragma: no cover - defensive; delivery pops first
+            pass
+        ev.trigger(_DEADLINE)
 
     def try_get(self) -> tuple[bool, Any]:
         """Non-blocking get; returns ``(ok, item)``."""

@@ -112,11 +112,11 @@ class TracingContext:
         finally:
             self._tracer.emit("middleware", "send", END, iface=required_name)
 
-    def receive(self, provided_name: str) -> Generator:
+    def receive(self, provided_name: str, timeout_ns: Optional[int] = None) -> Generator:
         """Traced receive: BEGIN/END events around the delegate call."""
         self._tracer.emit("middleware", "receive", BEGIN, iface=provided_name)
         try:
-            message = yield from self._delegate.receive(provided_name)
+            message = yield from self._delegate.receive(provided_name, timeout_ns=timeout_ns)
         finally:
             self._tracer.emit("middleware", "receive", END, iface=provided_name)
         return message

@@ -1,0 +1,49 @@
+"""Shared fixtures for fault-injection and supervision tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Application, CONTROL
+
+
+def producer_behavior(n_messages, payload=None):
+    def behavior(ctx):
+        for i in range(n_messages):
+            body = payload if payload is not None else np.full(16, i, dtype=np.float32)
+            yield from ctx.send("out", body, tag=f"m{i}")
+        yield from ctx.send("out", None, kind=CONTROL, tag="eos")
+
+    return behavior
+
+
+def collector_behavior(sink, eos_needed=1):
+    """Consumer that appends every data payload to ``sink``."""
+
+    def behavior(ctx):
+        eos = 0
+        while eos < eos_needed:
+            msg = yield from ctx.receive("in")
+            if msg.kind == CONTROL:
+                eos += 1
+                continue
+            sink.append(msg.payload)
+        return len(sink)
+
+    return behavior
+
+
+def make_pipeline(n_messages=10, payload=None, observer=False):
+    """prod --out/in--> cons; returns (app, sink list)."""
+    sink = []
+    app = Application("faultpipe")
+    app.create("prod", behavior=producer_behavior(n_messages, payload), requires=["out"])
+    app.create("cons", behavior=collector_behavior(sink), provides=["in"])
+    app.connect("prod", "out", "cons", "in")
+    if observer:
+        app.attach_observer()
+    return app, sink
+
+
+@pytest.fixture
+def pipeline():
+    return make_pipeline()

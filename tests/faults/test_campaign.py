@@ -1,0 +1,61 @@
+"""Seeded chaos campaign: deterministic, bit-exact, observed."""
+
+import pytest
+
+from repro.faults import build_campaign_plan, run_chaos_campaign
+
+
+def test_campaign_plan_is_seed_deterministic():
+    a = build_campaign_plan(seed=11, n_images=8)
+    b = build_campaign_plan(seed=11, n_images=8)
+    assert a.describe() == b.describe()
+    c = build_campaign_plan(seed=12, n_images=8)
+    assert a.describe() != c.describe()
+
+
+def test_campaign_plan_shape():
+    plan = build_campaign_plan(seed=0, n_images=8, crashes=3)
+    kinds = [s.kind for s in plan.specs]
+    assert kinds.count("crash") == 3
+    assert "drop" in kinds and "duplicate" in kinds
+    # crashes land on distinct IDCT workers, round-robin
+    crash_comps = [s.component for s in plan.specs if s.kind == "crash"]
+    assert sorted(crash_comps) == ["IDCT_1", "IDCT_2", "IDCT_3"]
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_chaos_campaign(seed=2, n_images=6)
+
+
+def test_campaign_survives_faults_bit_exactly(campaign):
+    r = campaign
+    assert r.ok
+    assert r.bit_exact
+    assert r.frames_delivered > 0
+    assert r.injected.get("crash", 0) == 3
+    assert r.restarts >= r.injected["crash"]
+    assert r.mttr_us > 0.0
+
+
+def test_campaign_is_reproducible_end_to_end(campaign):
+    again = run_chaos_campaign(seed=2, n_images=6)
+    assert again.digest == campaign.digest
+    assert again.schedule == campaign.schedule
+    assert again.supervision == campaign.supervision
+
+
+def test_campaign_faults_reach_trace_and_observer(campaign):
+    r = campaign
+    assert r.fault_trace_events > 0
+    # summary is JSON-friendly and carries the headline numbers
+    s = r.summary()
+    assert s["seed"] == 2
+    assert s["digest"] == r.digest
+    assert s["bit_exact"] is True
+
+
+def test_different_seed_changes_the_schedule(campaign):
+    other = run_chaos_campaign(seed=3, n_images=6)
+    assert other.schedule != campaign.schedule
+    assert other.digest != campaign.digest

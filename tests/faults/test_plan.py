@@ -1,0 +1,57 @@
+"""FaultPlan / FaultSpec validation and manifests."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultPlanError, FaultSpec
+
+
+def test_fluent_plan_builds_specs_in_order():
+    plan = (
+        FaultPlan(seed=7)
+        .crash("A", on_receive=3)
+        .drop("A", "out", probability=0.1)
+        .duplicate("A", "out", probability=0.2)
+        .delay("A", "out", probability=1.0, delay_ns=5_000)
+        .corrupt("A", "out", probability=0.5)
+        .stall("B", on_receive=2, delay_ns=1_000)
+        .overflow("A", "out", capacity=4)
+    )
+    assert len(plan) == 7
+    kinds = [s.kind for s in plan.specs]
+    assert kinds == ["crash", "drop", "duplicate", "delay", "corrupt", "stall", "overflow"]
+    assert plan.seed == 7
+
+
+def test_describe_is_json_friendly_and_stable():
+    plan = FaultPlan(seed=1).crash("A", at_ns=500).drop("A", "out", probability=0.25)
+    manifest = plan.describe()
+    assert manifest == [
+        {"kind": "crash", "component": "A", "at_ns": 500},
+        {"kind": "drop", "component": "A", "interface": "out", "probability": 0.25},
+    ]
+
+
+def test_crash_needs_exactly_one_trigger():
+    with pytest.raises(FaultPlanError, match="exactly one"):
+        FaultSpec("crash", "A")
+    with pytest.raises(FaultPlanError, match="exactly one"):
+        FaultSpec("crash", "A", at_ns=1, on_receive=1)
+
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        (dict(kind="nope", component="A"), "unknown fault kind"),
+        (dict(kind="drop", component="", interface="out"), "target component"),
+        (dict(kind="drop", component="A", interface="out", probability=1.5), "probability"),
+        (dict(kind="drop", component="A"), "required interface"),
+        (dict(kind="delay", component="A", interface="out"), "delay_ns"),
+        (dict(kind="stall", component="A"), "delay_ns"),
+        (dict(kind="overflow", component="A", interface="out"), "capacity"),
+        (dict(kind="crash", component="A", on_receive=0), "counts from 1"),
+        (dict(kind="crash", component="A", at_ns=-5), "negative"),
+    ],
+)
+def test_invalid_specs_are_rejected(kwargs, match):
+    with pytest.raises(FaultPlanError, match=match):
+        FaultSpec(**kwargs)

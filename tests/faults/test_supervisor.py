@@ -1,0 +1,185 @@
+"""Supervision policies: restart, degrade, halt, escalate."""
+
+import pytest
+
+from repro.core import Application, CONTROL, ComponentState, EscalationError
+from repro.faults import (
+    DegradePolicy,
+    FaultInjector,
+    FaultPlan,
+    HaltPolicy,
+    RestartPolicy,
+    Supervisor,
+)
+from repro.runtime import NativeRuntime, SmpSimRuntime
+from repro.sim.rng import RngRegistry
+
+from tests.faults.conftest import make_pipeline
+
+
+def flaky_consumer(failures, sink):
+    """Consumer that raises on its first ``failures`` data messages."""
+    state = {"failures": failures}
+
+    def behavior(ctx):
+        while True:
+            msg = yield from ctx.receive("in")
+            if msg.kind == CONTROL:
+                return len(sink)
+            if state["failures"] > 0:
+                state["failures"] -= 1
+                raise ValueError("transient consumer fault")
+            sink.append(msg.payload)
+
+    return behavior
+
+
+def make_flaky_app(failures, n_messages=8):
+    sink = []
+    app = Application("flaky")
+
+    def producer(ctx):
+        for i in range(n_messages):
+            yield from ctx.send("out", i)
+        yield from ctx.send("out", None, kind=CONTROL, tag="eos")
+
+    app.create("prod", behavior=producer, requires=["out"])
+    app.create("cons", behavior=flaky_consumer(failures, sink), provides=["in"])
+    app.connect("prod", "out", "cons", "in")
+    return app, sink
+
+
+class TestRestartPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RestartPolicy(
+            base_backoff_ns=1_000, factor=2.0, max_backoff_ns=5_000, jitter=0.0
+        )
+        rng = RngRegistry(0).stream("x")
+        assert policy.backoff_ns(1, rng) == 1_000
+        assert policy.backoff_ns(2, rng) == 2_000
+        assert policy.backoff_ns(3, rng) == 4_000
+        assert policy.backoff_ns(4, rng) == 5_000  # capped
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RestartPolicy(base_backoff_ns=1_000_000, jitter=0.1)
+        a = [policy.backoff_ns(1, RngRegistry(9).stream("s")) for _ in range(3)]
+        assert a[0] == a[1] == a[2]
+        assert 900_000 <= a[0] <= 1_100_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RestartPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RestartPolicy(jitter=1.0)
+
+
+def test_sim_restart_recovers_and_is_observed():
+    app, sink = make_flaky_app(failures=2)
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    sup = Supervisor(policy=RestartPolicy(max_attempts=3, base_backoff_ns=100_000)).install(rt)
+    rt.start()
+    rt.wait()
+    rt.stop()
+    cons = app.components["cons"]
+    assert cons.state == ComponentState.STOPPED
+    # Two messages were consumed by the failing attempts; the rest landed.
+    assert len(sink) == 6
+    probe = rt.probe("cons")
+    assert probe.restarts == 2
+    assert len(probe.recovery_ns) == 2
+    assert all(d >= 100_000 for d in probe.recovery_ns)  # downtime >= backoff
+    report = sup.report()
+    assert report["restarts"] == 2 and report["escalations"] == 0
+    assert [e.action for e in sup.events] == ["restart", "restart"]
+
+
+def test_native_restart_recovers():
+    app, sink = make_flaky_app(failures=1)
+    rt = NativeRuntime(receive_timeout_s=5.0, join_timeout_s=30.0)
+    rt.deploy(app)
+    Supervisor(policy=RestartPolicy(max_attempts=2, base_backoff_ns=1_000_000)).install(rt)
+    rt.start()
+    rt.wait()
+    rt.stop()
+    assert app.components["cons"].state == ComponentState.STOPPED
+    assert len(sink) == 7
+    assert rt.probe("cons").restarts == 1
+
+
+def test_escalation_after_max_attempts():
+    app, _ = make_flaky_app(failures=99)
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    sup = Supervisor(policy=RestartPolicy(max_attempts=2, base_backoff_ns=1_000)).install(rt)
+    rt.start()
+    with pytest.raises(EscalationError, match="failed permanently after 2 restart"):
+        rt.wait()
+    assert app.components["cons"].state == ComponentState.FAILED
+    assert [e.action for e in sup.events] == ["restart", "restart", "escalate"]
+
+
+def test_halt_policy_propagates_the_original_error():
+    app, _ = make_flaky_app(failures=1)
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    Supervisor(policy=HaltPolicy()).install(rt)
+    rt.start()
+    with pytest.raises(ValueError, match="transient consumer fault"):
+        rt.wait()
+    assert app.components["cons"].state == ComponentState.FAILED
+
+
+def test_per_component_policy_overrides_default():
+    sup = Supervisor(policy=None).set_policy("cons", RestartPolicy())
+    assert sup.covers("cons")
+    assert not sup.covers("prod")
+    assert sup.policy_for("cons").action == "restart"
+
+
+def test_degrade_disconnects_inbound_and_marks_degraded():
+    app = Application("degrade")
+    delivered = []
+
+    def producer(ctx):
+        for i in range(6):
+            out = ctx.component.get_required("out")
+            if not out.connected:
+                return i  # rerouting decision: the sink is gone
+            yield from ctx.send("out", i)
+        return 6
+
+    def doomed(ctx):
+        yield from ctx.receive("in")
+        raise RuntimeError("dead on first message")
+
+    app.create("prod", behavior=producer, requires=["out"])
+    app.create("sink", behavior=doomed, provides=["in"])
+    app.connect("prod", "out", "sink", "in")
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    Supervisor(policy=None).set_policy("sink", DegradePolicy()).install(rt)
+    rt.start()
+    rt.wait()  # completes: the failure was absorbed
+    rt.stop()
+    sink = app.components["sink"]
+    assert sink.state == ComponentState.DEGRADED
+    assert not app.components["prod"].get_required("out").connected
+    # _mark_stopped must not overwrite the DEGRADED verdict at teardown.
+    assert sink.state == ComponentState.DEGRADED
+
+
+def test_supervised_injected_crashes_recover_end_to_end():
+    """Injector + supervisor together: the designed recovery loop."""
+    app, sink = make_pipeline(n_messages=10)
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    FaultInjector(FaultPlan(seed=0).crash("cons", on_receive=4)).install(rt)
+    Supervisor(policy=RestartPolicy(max_attempts=2)).install(rt)
+    rt.start()
+    rt.wait()
+    rt.stop()
+    # message 4 died with the crash; everything else was delivered
+    assert len(sink) == 9
+    assert rt.probe("cons").restarts == 1
+    assert rt.probe("cons").fault_counts == {"crash": 1}
