@@ -85,9 +85,35 @@ def bench_mjpeg(quick: bool = False) -> Dict:
 
     t_encode = _best(run_encode, reps)
 
+    # Trace scenario: the full componentized SMP decode with tracing on
+    # vs off.  The ratio is the real-world cost of causal observation --
+    # the acceptance bar is under 2x.
+    from repro.mjpeg import generate_stream
+    from repro.mjpeg.components import build_smp_assembly
+    from repro.runtime import SmpSimRuntime
+    from repro.trace.tracer import enable_tracing
+
+    trace_images = 2 if quick else 4
+    trace_reps = 2 if quick else 3
+    trace_stream = generate_stream(trace_images, 96, 96, quality=75, seed=0)
+
+    def run_decode(tracing: bool) -> None:
+        app = build_smp_assembly(trace_stream, use_stored_coefficients=True)
+        rt = SmpSimRuntime()
+        rt.deploy(app)
+        if tracing:
+            enable_tracing(rt)
+        rt.start()
+        rt.wait()
+        rt.stop()
+
+    t_untraced = _best(lambda: run_decode(False), trace_reps)
+    t_traced = _best(lambda: run_decode(True), trace_reps)
+
     return {
         "suite": "mjpeg",
         "workload": {"images": n_images, "blocks": n_blocks_total, "reps": reps},
+        "trace_workload": {"images": trace_images, "reps": trace_reps},
         "benches": {
             "entropy_decode_lut": {
                 "best_s": t_fast,
@@ -101,8 +127,11 @@ def bench_mjpeg(quick: bool = False) -> Dict:
                 "best_s": t_encode,
                 "us_per_block": t_encode / n_blocks_total * 1e6,
             },
+            "smp_decode_untraced": {"best_s": t_untraced},
+            "smp_decode_traced": {"best_s": t_traced},
         },
         "entropy_decode_speedup": t_walk / t_fast,
+        "trace_overhead": t_traced / t_untraced,
     }
 
 
@@ -170,6 +199,33 @@ def bench_kernel(quick: bool = False) -> Dict:
 
     t_emit = _best(run_emit, reps)
 
+    # Observation-probe hot path: one record_send per message.  With the
+    # deferred tuple-buffer this is a single list append; the timer math
+    # and per-interface dict inserts are folded at report time (and the
+    # fold is included here via the final report build, so the figure is
+    # end-to-end honest).
+    from repro.core.messages import DATA, Message
+    from repro.core.observation import MIDDLEWARE_LEVEL, ObservationProbe
+
+    class _BenchComponent:
+        name = "bench"
+
+        @staticmethod
+        def interfaces():
+            return {}
+
+    n_records = 20_000 if quick else 200_000
+    message = Message(payload=None, kind=DATA, size_bytes=64, src="bench")
+
+    def run_probe() -> None:
+        probe = ObservationProbe(_BenchComponent())
+        record = probe.record_send
+        for _ in range(n_records):
+            record("out", message, 120)
+        probe.report(MIDDLEWARE_LEVEL)
+
+    t_probe = _best(run_probe, reps)
+
     return {
         "suite": "kernel",
         "workload": {
@@ -177,6 +233,7 @@ def bench_kernel(quick: bool = False) -> Dict:
             "messages": n_msgs,
             "cancels": n_cancel,
             "emits": n_emit,
+            "probe_records": n_records,
             "reps": reps,
         },
         "benches": {
@@ -195,6 +252,10 @@ def bench_kernel(quick: bool = False) -> Dict:
             "tracer_emit": {
                 "best_s": t_emit,
                 "ns_per_emit": t_emit / n_emit * 1e9,
+            },
+            "probe_record_send": {
+                "best_s": t_probe,
+                "ns_per_record": t_probe / n_records * 1e9,
             },
         },
     }

@@ -21,6 +21,11 @@ Commands
     drops, duplicates under supervision) and print the recovery
     report; exits 1 unless every surviving frame is bit-exact (see
     ``docs/robustness.md``).
+``trace [--images N] [--out PREFIX]``
+    Run the MJPEG SMP demo with causal tracing, print the critical
+    path and the per-hop latency table, and write the columnar trace
+    plus a Chrome/Perfetto trace with causal flow arrows (see
+    ``docs/observing.md``).
 """
 
 from __future__ import annotations
@@ -164,6 +169,93 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.metrics import Table
+    from repro.metrics.analysis import backpressure_report
+    from repro.mjpeg import generate_stream
+    from repro.mjpeg.components import build_smp_assembly
+    from repro.runtime import SmpSimRuntime
+    from repro.trace import (
+        SpanGraph,
+        enable_tracing,
+        queue_depth_series,
+        write_chrome_trace,
+        write_columns,
+    )
+
+    stream = generate_stream(args.images, 96, 96, quality=75, seed=0)
+    app = build_smp_assembly(stream, use_stored_coefficients=True)
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    buffer = enable_tracing(rt)
+    rt.start()
+    rt.wait()
+    rt.stop()
+
+    graph = SpanGraph.from_trace(buffer)
+    items = graph.attribute_items("frame")
+    if not items:
+        print("no frames delivered; nothing to attribute", file=sys.stderr)
+        return 1
+    worst = max(items, key=lambda it: it.e2e_ns)
+
+    print(
+        f"{len(items)} frames delivered; {len(graph.edges)} spans, "
+        f"{len(graph.dropped)} dropped, {buffer.dropped} trace events truncated"
+    )
+    print(
+        f"\ncritical path (slowest frame, span {worst.item_span}): "
+        f"e2e {worst.e2e_ns / 1e3:.1f} us, attributed {worst.attributed_ns / 1e3:.1f} us"
+    )
+    table = Table(
+        ["hop", "op", "mailbox", "compute (us)", "send (us)", "queue (us)", "recv (us)"]
+    )
+    for hop in worst.hops:
+        e = hop.edge
+        table.add_row(
+            [
+                f"{e.src}.{e.iface}",
+                e.op,
+                e.mailbox,
+                round(hop.compute_ns / 1e3, 1),
+                round(hop.send_ns / 1e3, 1),
+                round(hop.queue_ns / 1e3, 1),
+                round(hop.recv_ns / 1e3, 1),
+            ]
+        )
+    print(table.render())
+
+    breakdown = worst.breakdown()
+    total = sum(breakdown.values()) or 1
+    shares = ", ".join(
+        f"{seg.removesuffix('_ns')} {100 * v / total:.0f}%" for seg, v in breakdown.items()
+    )
+    print(f"attribution: {shares}")
+
+    mean_e2e = sum(it.e2e_ns for it in items) / len(items)
+    print(
+        f"frame latency: mean {mean_e2e / 1e3:.1f} us, "
+        f"worst {worst.e2e_ns / 1e3:.1f} us over {len(items)} frames"
+    )
+
+    pressure = backpressure_report(queue_depth_series(buffer))
+    busiest = sorted(pressure.items(), key=lambda kv: -kv[1]["mean_depth"])[:5]
+    print("\nbusiest mailboxes (time-weighted mean depth):")
+    for mailbox, stats in busiest:
+        print(
+            f"  {mailbox:<24} mean {stats['mean_depth']:5.2f}  "
+            f"peak {stats['peak_depth']:3d}  final {stats['final_depth']}"
+        )
+
+    columns_path = f"{args.out}.columns.json"
+    chrome_path = f"{args.out}.chrome.json"
+    n_cols = write_columns(buffer, columns_path)
+    n_chrome = write_chrome_trace(buffer.events(), chrome_path)
+    print(f"\nwrote {columns_path} ({n_cols} events)")
+    print(f"wrote {chrome_path} ({n_chrome} records; open in https://ui.perfetto.dev)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI parser."""
     parser = argparse.ArgumentParser(
@@ -197,6 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--drop-rate", type=float, default=0.05, help="message-drop probability"
     )
     faults.add_argument("--crashes", type=int, default=3, help="scheduled crash count")
+
+    trace = sub.add_parser(
+        "trace", help="causal trace of the MJPEG SMP demo (critical path, flows)"
+    )
+    trace.add_argument("--images", type=int, default=8, help="stream length")
+    trace.add_argument(
+        "--out", default="TRACE_mjpeg", help="output path prefix for trace artifacts"
+    )
     return parser
 
 
@@ -215,6 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -17,10 +17,11 @@ requires no change to behaviour code -- the paper's central claim.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from itertools import count
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
 from repro.core.errors import ConnectionError_
-from repro.core.messages import DATA, Message
+from repro.core.messages import DATA, NO_SPAN, Message
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.component import Component
@@ -39,6 +40,20 @@ class ComponentContext(ABC):
         self.component = component
         self.probe = probe
         self._seq = 0
+        #: Span allocator shared across the whole deployment (the runtime
+        #: installs its own at deploy time so spans are globally unique);
+        #: ``next()`` on an itertools.count is atomic under CPython, so
+        #: the native thread runtime needs no lock.
+        self._span_source = count(1)
+        #: Span of the most recently received message: the *cause* stamped
+        #: into every message this component emits next, which is what
+        #: chains causality through compute stages without touching
+        #: behaviour code.
+        self._cause = NO_SPAN
+        #: The last message this context built (send or deposit) or
+        #: returned (receive).  Tracing wrappers read it to attach causal
+        #: identity to their events without re-plumbing every signature.
+        self.last_message: Optional[Message] = None
         #: Optional fault-injection hook (see :mod:`repro.faults`).  The
         #: hook interposes on every transfer/receive exactly where the
         #: observation probe does, so faults -- like observation -- need
@@ -113,7 +128,10 @@ class ComponentContext(ABC):
             seq=self._seq,
             size_bytes=size_bytes,
             sent_at_us=self.now_us(),
+            span=next(self._span_source),
+            cause=self._cause,
         )
+        self.last_message = message
         t0 = self.now_ns()
         faults = self.faults
         verdict = DELIVER
@@ -143,6 +161,11 @@ class ComponentContext(ABC):
             yield from faults.before_receive(self, provided_name)
         t0 = self.now_ns()
         message = yield from self._receive_from(prov, timeout_ns)
+        if message.span != NO_SPAN:
+            # Record the causal edge: whatever this component emits next
+            # was caused by this reception.
+            self._cause = message.span
+        self.last_message = message
         if faults is not None:
             yield from faults.after_receive(self, provided_name, message)
         if self.probe is not None:
@@ -177,7 +200,10 @@ class ComponentContext(ABC):
             src_interface=provided_name,
             seq=self._seq,
             sent_at_us=self.now_us(),
+            span=next(self._span_source),
+            cause=self._cause,
         )
+        self.last_message = message
         t0 = self.now_ns()
         yield from self._transfer(prov, message)
         if self.probe is not None:
@@ -193,8 +219,12 @@ class ComponentContext(ABC):
         """
         prov = self.component.get_provided(provided_name)
         message = self._try_receive_from(prov)
-        if message is not None and self.probe is not None:
-            self.probe.record_receive(provided_name, message, 0, now_us=self.now_us())
+        if message is not None:
+            if message.span != NO_SPAN:
+                self._cause = message.span
+            self.last_message = message
+            if self.probe is not None:
+                self.probe.record_receive(provided_name, message, 0, now_us=self.now_us())
         return message
 
     def _try_receive_from(self, provided):  # pragma: no cover - runtime-specific

@@ -41,6 +41,10 @@ def payload_nbytes(payload: Any) -> int:
     return int(sys.getsizeof(payload))
 
 
+#: Span id meaning "no causal context" (root of a causal chain).
+NO_SPAN = 0
+
+
 @dataclass
 class Message:
     """One message in transit between two interfaces."""
@@ -53,6 +57,14 @@ class Message:
     seq: int = 0
     size_bytes: int = -1  # -1: estimate from payload at send time
     sent_at_us: Optional[int] = None
+    #: Causal identity: every send/deposit stamps a globally unique,
+    #: monotonically increasing span id, and ``cause`` carries the span of
+    #: the message whose reception triggered this one (NO_SPAN for chain
+    #: roots).  Receives record the (cause -> span) edge, so offline
+    #: analysis can reconstruct end-to-end causal chains across
+    #: components, runtimes and the EMBX transport.
+    span: int = NO_SPAN
+    cause: int = NO_SPAN
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:

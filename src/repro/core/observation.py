@@ -36,6 +36,10 @@ APPLICATION_LEVEL = "application"
 
 LEVELS = (OS_LEVEL, MIDDLEWARE_LEVEL, APPLICATION_LEVEL)
 
+#: Deferred-sample opcodes (first tuple element in the probe's buffer).
+_SEND = 0
+_RECV = 1
+
 
 @dataclass(frozen=True)
 class ObservationRequest:
@@ -72,14 +76,22 @@ class ObservationProbe:
         self.component = component
         self.policy = policy
         self._op_index = 0
-        self.send_timer = Timer(f"{component.name}.send")
-        self.recv_timer = Timer(f"{component.name}.receive")
+        #: Deferred middleware samples -- the tuple-buffer trick
+        #: :meth:`~repro.trace.tracer.Tracer.emit` uses.  The hot path
+        #: appends one plain tuple (``(_SEND, iface, dur)`` or
+        #: ``(_RECV, iface, dur, latency)``); timers and per-interface
+        #: dict inserts are folded lazily at report time.  Appending to a
+        #: list is atomic under the GIL, so native-runtime threads share
+        #: the probe without a lock.
+        self._mw_samples: list = []
+        self._send_timer = Timer(f"{component.name}.send")
+        self._recv_timer = Timer(f"{component.name}.receive")
         #: End-to-end message latency (sender timestamp -> delivery).
         #: On OS21 the sender/receiver clocks are *local* per CPU, so this
         #: inherits their skew -- faithfully to the platform (sec. 5.2).
-        self.latency_timer = Timer(f"{component.name}.latency")
-        self.send_timers_by_iface: Dict[str, Timer] = {}
-        self.recv_timers_by_iface: Dict[str, Timer] = {}
+        self._latency_timer = Timer(f"{component.name}.latency")
+        self._send_timers_by_iface: Dict[str, Timer] = {}
+        self._recv_timers_by_iface: Dict[str, Timer] = {}
         self.data_sends = Counter(f"{component.name}.sends")
         self.data_receives = Counter(f"{component.name}.receives")
         self.deposits = Counter(f"{component.name}.deposits")
@@ -102,6 +114,70 @@ class ObservationProbe:
         #: Runtime-provided middleware extras (e.g. live queue depths).
         self.middleware_adapter: Optional[Callable[[], Dict[str, Any]]] = None
 
+    # -- deferred-sample folding ----------------------------------------------
+
+    def _drain_samples(self) -> None:
+        """Fold buffered middleware samples into the timers.
+
+        Snapshot-then-delete (``buf[:n]`` / ``del buf[:n]``) so samples a
+        concurrent native-runtime thread appends mid-drain survive for
+        the next drain instead of being lost.
+        """
+        buf = self._mw_samples
+        n = len(buf)
+        if not n:
+            return
+        chunk = buf[:n]
+        del buf[:n]
+        send_timer = self._send_timer
+        recv_timer = self._recv_timer
+        by_send = self._send_timers_by_iface
+        by_recv = self._recv_timers_by_iface
+        for sample in chunk:
+            iface, dur = sample[1], sample[2]
+            if sample[0] == _SEND:
+                send_timer.record(dur)
+                timer = by_send.get(iface)
+                if timer is None:
+                    timer = by_send[iface] = Timer(iface)
+                timer.record(dur)
+            else:
+                recv_timer.record(dur)
+                timer = by_recv.get(iface)
+                if timer is None:
+                    timer = by_recv[iface] = Timer(iface)
+                timer.record(dur)
+                if sample[3] >= 0:
+                    self._latency_timer.record(sample[3])
+
+    # The timers stay part of the public surface; reading one folds the
+    # pending samples first, so deferral is invisible to consumers.
+
+    @property
+    def send_timer(self) -> Timer:
+        self._drain_samples()
+        return self._send_timer
+
+    @property
+    def recv_timer(self) -> Timer:
+        self._drain_samples()
+        return self._recv_timer
+
+    @property
+    def latency_timer(self) -> Timer:
+        self._drain_samples()
+        return self._latency_timer
+
+    @property
+    def send_timers_by_iface(self) -> Dict[str, Timer]:
+        self._drain_samples()
+        return self._send_timers_by_iface
+
+    @property
+    def recv_timers_by_iface(self) -> Dict[str, Timer]:
+        self._drain_samples()
+        return self._recv_timers_by_iface
+
     # -- recording (called from ComponentContext) ----------------------------
 
     def _should_time(self) -> bool:
@@ -117,12 +193,15 @@ class ObservationProbe:
         return self.policy is None or self.policy.track_bytes
 
     def record_send(self, iface: str, message: Message, duration_ns: int) -> None:
-        """Account one send operation (kind-aware; see class doc)."""
+        """Account one send operation (kind-aware; see class doc).
+
+        Hot path: one tuple append, no timer math, no dict insert --
+        those are deferred to :meth:`_drain_samples` at report time.
+        """
         if message.kind == OBSERVATION:
             return  # observation traffic must not observe itself
         if self._should_time():
-            self.send_timer.record(duration_ns)
-            self.send_timers_by_iface.setdefault(iface, Timer(iface)).record(duration_ns)
+            self._mw_samples.append((_SEND, iface, duration_ns))
         if message.kind == DATA:
             self.data_sends.inc()
             if self._track_bytes():
@@ -143,11 +222,12 @@ class ObservationProbe:
         if message.kind == OBSERVATION:
             return
         if self._should_time():
-            self.recv_timer.record(duration_ns)
-            self.recv_timers_by_iface.setdefault(iface, Timer(iface)).record(duration_ns)
             if now_us is not None and message.sent_at_us is not None:
                 # Clamp at zero: cross-CPU local clocks may run ahead.
-                self.latency_timer.record(max(0, (now_us - message.sent_at_us)) * 1_000)
+                latency_ns = max(0, (now_us - message.sent_at_us)) * 1_000
+            else:
+                latency_ns = -1
+            self._mw_samples.append((_RECV, iface, duration_ns, latency_ns))
         if message.kind == DATA:
             self.data_receives.inc()
             if self._track_bytes():

@@ -52,7 +52,10 @@ class DistributedObject:
     size value is fixed and gathered at component creation time."
     """
 
-    __slots__ = ("name", "size_bytes", "owner_cpu", "queue", "_region", "_handle", "closed")
+    __slots__ = (
+        "name", "size_bytes", "owner_cpu", "queue", "_region", "_handle", "closed",
+        "sends", "receives", "peak_depth",
+    )
 
     def __init__(
         self,
@@ -70,6 +73,12 @@ class DistributedObject:
         self._region = region
         self._handle = handle
         self.closed = False
+        #: Per-object traffic accounting: message counts and the deepest
+        #: the object's queue ever got (the transport-level backpressure
+        #: high-water mark the causal analysis cross-checks against).
+        self.sends = 0
+        self.receives = 0
+        self.peak_depth = 0
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<DistributedObject {self.name!r} {self.size_bytes}B cpu={self.owner_cpu}>"
@@ -148,6 +157,10 @@ class EmbxTransport:
         yield Compute("memcpy_byte", self.effective_copy_bytes(nbytes))
         yield Compute("ns", self.signal_latency_ns)
         obj.queue.put((payload, nbytes))
+        obj.sends += 1
+        depth = len(obj.queue)
+        if depth > obj.peak_depth:
+            obj.peak_depth = depth
         self.sends += 1
         self.interrupts_by_cpu[obj.owner_cpu] = self.interrupts_by_cpu.get(obj.owner_cpu, 0) + 1
 
@@ -173,5 +186,6 @@ class EmbxTransport:
                 )
             payload, nbytes = item
         yield Compute("memcpy_byte", self.effective_copy_bytes(nbytes))
+        obj.receives += 1
         self.receives += 1
         return payload, nbytes

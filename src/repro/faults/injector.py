@@ -163,17 +163,26 @@ class FaultInjector:
 
     # -- bookkeeping ----------------------------------------------------------
 
-    def _record(self, t_ns: int, component: str, kind: str, detail: str = "") -> None:
-        self.log.append(
-            {"t_ns": int(t_ns), "component": component, "kind": kind, "detail": detail}
-        )
+    def _record(
+        self, t_ns: int, component: str, kind: str, detail: str = "", span: int = 0
+    ) -> None:
+        entry = {"t_ns": int(t_ns), "component": component, "kind": kind, "detail": detail}
+        if span:
+            # The causal identity of the faulted message: a dropped or
+            # duplicated span shows up here instead of silently vanishing
+            # from (or double-counting in) the receive-edge stream.
+            entry["span"] = int(span)
+        self.log.append(entry)
         if not kind.endswith("-armed"):
             probe = self._probes.get(component)
             if probe is not None:
                 probe.record_fault(kind)
         tracer = self._tracers.get(component)
         if tracer is not None:
-            tracer.emit("fault", kind, detail=detail)
+            if span:
+                tracer.emit("fault", kind, detail=detail, span=int(span))
+            else:
+                tracer.emit("fault", kind, detail=detail)
 
     def counts(self) -> Dict[str, int]:
         """Injected faults by kind (armed markers excluded)."""
@@ -222,31 +231,36 @@ class FaultInjector:
                     self._record(
                         ctx.now_ns(), ctx.name, DELAY,
                         f"{required_name} seq={message.seq} +{spec.delay_ns}ns",
+                        span=message.span,
                     )
                     yield from ctx.sleep(spec.delay_ns)
             elif spec.kind == CORRUPT:
                 if stream.random() < spec.probability:
                     message.payload = _corrupt_value(message.payload, stream)
                     self._record(
-                        ctx.now_ns(), ctx.name, CORRUPT, f"{required_name} seq={message.seq}"
+                        ctx.now_ns(), ctx.name, CORRUPT,
+                        f"{required_name} seq={message.seq}", span=message.span,
                     )
             elif spec.kind == OVERFLOW:
                 if ctx._depth_of(target) >= spec.capacity:
                     self._record(
                         ctx.now_ns(), ctx.name, OVERFLOW,
                         f"{required_name} seq={message.seq} capacity={spec.capacity}",
+                        span=message.span,
                     )
                     verdict = VERDICT_DROP
             elif spec.kind == DROP:
                 if stream.random() < spec.probability:
                     self._record(
-                        ctx.now_ns(), ctx.name, DROP, f"{required_name} seq={message.seq}"
+                        ctx.now_ns(), ctx.name, DROP,
+                        f"{required_name} seq={message.seq}", span=message.span,
                     )
                     verdict = VERDICT_DROP
             elif spec.kind == DUPLICATE:
                 if verdict == DELIVER and stream.random() < spec.probability:
                     self._record(
-                        ctx.now_ns(), ctx.name, DUPLICATE, f"{required_name} seq={message.seq}"
+                        ctx.now_ns(), ctx.name, DUPLICATE,
+                        f"{required_name} seq={message.seq}", span=message.span,
                     )
                     verdict = VERDICT_DUPLICATE
         return verdict
@@ -279,10 +293,11 @@ class FaultInjector:
             self._fired.add(id(spec))
             if spec.kind == CRASH:
                 detail = f"on_receive={count} ({provided_name} seq={message.seq} lost)"
-                self._record(ctx.now_ns(), name, CRASH, detail)
+                self._record(ctx.now_ns(), name, CRASH, detail, span=message.span)
                 raise InjectedFault(name, CRASH, detail)
             if spec.kind == STALL:
                 self._record(
-                    ctx.now_ns(), name, STALL, f"on_receive={count} +{spec.delay_ns}ns"
+                    ctx.now_ns(), name, STALL,
+                    f"on_receive={count} +{spec.delay_ns}ns", span=message.span,
                 )
                 yield from ctx.sleep(spec.delay_ns)

@@ -119,6 +119,41 @@ def pipeline_throughput(reports: Reports, makespan_ns: int, items_field: str = "
     return total / (makespan_ns / 1e9)
 
 
+def backpressure_report(
+    series: Mapping[str, List[Tuple[int, int]]]
+) -> Dict[str, Dict[str, float]]:
+    """Summarise per-mailbox queue-depth time series (from
+    :func:`repro.trace.causal.queue_depth_series`).
+
+    For each mailbox: the peak depth, the depth left at the end of the
+    trace (non-zero means unconsumed messages -- the display sink, or a
+    crashed receiver's backlog) and the time-weighted mean depth, which
+    is the backpressure signal: a stage whose input mailbox dwells deep
+    is the stage the pipeline is waiting on.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for mailbox, points in series.items():
+        if not points:
+            continue
+        peak = max(depth for _, depth in points)
+        final = points[-1][1]
+        t0, t1 = points[0][0], points[-1][0]
+        if t1 > t0:
+            weighted = 0.0
+            for (t_a, d_a), (t_b, _) in zip(points, points[1:]):
+                weighted += d_a * (t_b - t_a)
+            mean_depth = weighted / (t1 - t0)
+        else:
+            mean_depth = float(final)
+        out[mailbox] = {
+            "peak_depth": peak,
+            "final_depth": final,
+            "mean_depth": mean_depth,
+            "events": len(points),
+        }
+    return out
+
+
 def summarize(reports: Reports, makespan_ns: Optional[int] = None) -> Dict[str, Any]:
     """One-call overview combining all analyses."""
     balance = load_balance(reports)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from itertools import count
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.application import Application
@@ -46,6 +47,11 @@ class Runtime(ABC):
         #: When present, covered components run inside its restart /
         #: degrade / halt flow instead of failing the whole application.
         self.supervisor = None
+        #: Deployment-wide span allocator: every context built by this
+        #: runtime draws from it, so message span ids are unique across
+        #: components (next() on a count is atomic under CPython -- no
+        #: lock even on the thread runtime).
+        self.span_source = count(1)
 
     # -- lifecycle ----------------------------------------------------------
 

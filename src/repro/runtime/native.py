@@ -98,6 +98,7 @@ class NativeContext(ComponentContext):
     ) -> None:
         super().__init__(component, probe)
         self.runtime = runtime
+        self._span_source = runtime.span_source
 
     def now_ns(self) -> int:
         """Current platform time in nanoseconds."""

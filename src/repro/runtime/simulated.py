@@ -76,6 +76,7 @@ class SimContext(ComponentContext):
         super().__init__(component, probe)
         self.runtime = runtime
         self.clock_offset_ns = clock_offset_ns
+        self._span_source = runtime.span_source
 
     def now_ns(self) -> int:
         """Current platform time in nanoseconds."""
@@ -648,6 +649,15 @@ class Sti7200SimRuntime(SimRuntime):
             cpu = cont.extra.get("cpu")
             if cpu is not None:
                 data["interrupts"] = self.embx.interrupts_by_cpu.get(cpu, 0)
+            data["embx_objects"] = {
+                p.binding.name: {
+                    "sends": p.binding.sends,
+                    "receives": p.binding.receives,
+                    "peak_depth": p.binding.peak_depth,
+                }
+                for p in comp.provided.values()
+                if not p.is_observation and p.binding is not None
+            }
             return data
 
         return report

@@ -15,9 +15,17 @@ matched begin/end intervals and summary statistics.
 """
 
 from repro.trace.events import BEGIN, END, INSTANT, TraceEvent
-from repro.trace.tracer import TraceBuffer, Tracer, TracingContext, enable_tracing
-from repro.trace.writer import read_jsonl, write_csv, write_jsonl
+from repro.trace.tracer import TraceBuffer, TraceColumns, Tracer, TracingContext, enable_tracing
+from repro.trace.writer import read_columns, read_jsonl, write_columns, write_csv, write_jsonl
 from repro.trace.analysis import busy_fraction, intervals, summarize_durations, timeline
+from repro.trace.causal import (
+    HopLatency,
+    ItemLatency,
+    SpanEdge,
+    SpanGraph,
+    hop_summary,
+    queue_depth_series,
+)
 from repro.trace.export import write_chrome_trace, write_paje
 from repro.trace.gantt import render_gantt
 
@@ -25,18 +33,27 @@ __all__ = [
     "BEGIN",
     "END",
     "INSTANT",
+    "HopLatency",
+    "ItemLatency",
+    "SpanEdge",
+    "SpanGraph",
     "TraceBuffer",
+    "TraceColumns",
     "TraceEvent",
     "Tracer",
     "TracingContext",
     "busy_fraction",
     "enable_tracing",
+    "hop_summary",
     "intervals",
+    "queue_depth_series",
+    "read_columns",
     "read_jsonl",
     "render_gantt",
     "summarize_durations",
     "timeline",
     "write_chrome_trace",
+    "write_columns",
     "write_csv",
     "write_jsonl",
     "write_paje",

@@ -85,7 +85,9 @@ def write_chrome_trace(events: Iterable[TraceEvent], path: PathLike) -> int:
     """Export to the Chrome trace-event JSON array format.
 
     Load the result in ``chrome://tracing`` or https://ui.perfetto.dev.
-    Returns the number of records written.
+    Span-stamped middleware events additionally emit **flow events**
+    (``ph: s``/``f``), so every send draws a causal arrow to its receive
+    across component tracks.  Returns the number of records written.
     """
     records = []
     tids = {}
@@ -110,6 +112,25 @@ def write_chrome_trace(events: Iterable[TraceEvent], path: PathLike) -> int:
         if ph == "i":
             record["s"] = "t"
         records.append(record)
+        if ph == "E" and e.category == "middleware" and "span" in e.args:
+            span = e.args["span"]
+            flow = {
+                "name": "msg",
+                "cat": "causal",
+                "ts": record["ts"],
+                "pid": 1,
+                "tid": tid,
+                "id": span,
+            }
+            if e.name in ("send", "deposit"):
+                flow["ph"] = "s"
+                records.append(flow)
+            elif e.name == "receive":
+                # Bind to the enclosing slice's end so the arrow lands on
+                # the receive interval itself.
+                flow["ph"] = "f"
+                flow["bp"] = "e"
+                records.append(flow)
     meta = [
         {
             "name": "thread_name",

@@ -1,11 +1,48 @@
-"""Tracers, ring buffers and the tracing context wrapper."""
+"""Tracers, the columnar ring buffer and the tracing context wrapper.
+
+The buffer is a two-layer store:
+
+- **Write path** (hot): :meth:`Tracer.emit` appends one plain row tuple
+  ``(ts, seq, component, category, name, phase, args)`` into a bounded
+  ring of rows -- one allocation, one list operation, no dataclass, no
+  validation.
+- **Read path** (columnar): :meth:`TraceBuffer.columns` transposes the
+  rows once into cached parallel arrays (a :class:`TraceColumns`), which
+  is what the causal analysis and the exporters consume -- big traces
+  stay flat, with zero per-event object builds.  :meth:`events` remains
+  as the compatibility view materialising :class:`TraceEvent` records.
+"""
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Dict, Generator, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Iterator, List, Optional, Tuple
 
 from repro.trace.events import BEGIN, END, INSTANT, TraceEvent
+
+#: Row layout (index -> field) of the buffer's raw storage.
+ROW_FIELDS = ("timestamp_ns", "seq", "component", "category", "name", "phase", "args")
+
+
+@dataclass
+class TraceColumns:
+    """Parallel-array (struct-of-arrays) view over one trace.
+
+    Every attribute is a list with one entry per event, all the same
+    length and in global (timestamp, seq) order.  Built once per buffer
+    generation and cached; treat as read-only.
+    """
+
+    timestamp_ns: List[int]
+    seq: List[int]
+    component: List[str]
+    category: List[str]
+    name: List[str]
+    phase: List[str]
+    args: List[Dict[str, Any]]
+
+    def __len__(self) -> int:
+        return len(self.timestamp_ns)
 
 
 class TraceBuffer:
@@ -14,45 +51,91 @@ class TraceBuffer:
     Embedded targets cannot keep unbounded traces; when full, the oldest
     events are dropped and counted, so analyses can report truncation
     instead of silently lying.
-
-    The buffer stores whatever the tracers hand it -- in the hot path
-    that is a plain tuple, materialised into a :class:`TraceEvent` (with
-    its validation) only when :meth:`events` is called.
     """
 
     def __init__(self, capacity: int = 1_000_000) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._events: deque = deque(maxlen=capacity)
+        self._rows: List[tuple] = []
+        self._head = 0  # index of the oldest row once the ring has wrapped
         self.dropped = 0
         self._seq = 0
+        self._columns: Optional[TraceColumns] = None
 
-    def append(self, event: TraceEvent) -> None:
-        """Add an event, dropping the oldest when full."""
-        if len(self._events) == self.capacity:
+    def append(self, event) -> None:
+        """Add an event (a :class:`TraceEvent` or a raw row tuple),
+        dropping the oldest when full."""
+        if type(event) is not tuple:
+            event = (
+                event.timestamp_ns,
+                event.seq,
+                event.component,
+                event.category,
+                event.name,
+                event.phase,
+                event.args,
+            )
+        self._columns = None
+        rows = self._rows
+        if len(rows) < self.capacity:
+            rows.append(event)
+        else:
+            head = self._head
+            rows[head] = event
+            self._head = (head + 1) % self.capacity
             self.dropped += 1
-        self._events.append(event)
 
     def next_seq(self) -> int:
         """Next global sequence number."""
         self._seq += 1
         return self._seq
 
+    def rows(self) -> List[tuple]:
+        """All buffered raw rows, oldest first (see :data:`ROW_FIELDS`).
+
+        Sim traces come out pre-sorted (virtual time is monotone); native
+        multi-thread traces are sorted defensively by (timestamp, seq).
+        """
+        rows = self._rows
+        head = self._head
+        if head:
+            rows = rows[head:] + rows[:head]
+        for i in range(1, len(rows)):
+            if rows[i - 1][:2] > rows[i][:2]:
+                rows = sorted(rows, key=lambda r: (r[0], r[1]))
+                break
+        return rows
+
+    def columns(self) -> TraceColumns:
+        """The columnar (parallel arrays) view; cached until the next
+        write.  One C-level transpose, no per-event objects."""
+        if self._columns is None:
+            rows = self.rows()
+            if rows:
+                ts, seq, comp, cat, name, phase, args = map(list, zip(*rows))
+            else:
+                ts, seq, comp, cat, name, phase, args = [], [], [], [], [], [], []
+            self._columns = TraceColumns(ts, seq, comp, cat, name, phase, args)
+        return self._columns
+
     def events(self) -> List[TraceEvent]:
-        """All buffered events (oldest first), materialising any raw
-        tuples emitted through the allocation-light fast path."""
-        return [
-            e if type(e) is TraceEvent else TraceEvent(*e) for e in self._events
-        ]
+        """All buffered events (oldest first) as validated
+        :class:`TraceEvent` records -- the compatibility view."""
+        return [TraceEvent(*row) for row in self.rows()]
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._rows)
 
     def clear(self) -> None:
-        """Drop all events and reset the dropped counter."""
-        self._events.clear()
+        """Drop all events, reset the dropped counter *and* the sequence
+        counter -- a cleared buffer starts a fresh trace, so reusing it
+        cannot produce colliding sequence numbers in merged traces."""
+        self._rows.clear()
+        self._head = 0
         self.dropped = 0
+        self._seq = 0
+        self._columns = None
 
 
 class Tracer:
@@ -74,26 +157,33 @@ class Tracer:
     ) -> None:
         """Record one event stamped with the clock and sequence.
 
-        Allocation-light: the event is buffered as a plain tuple -- no
-        dataclass construction, no validation -- and becomes a
-        :class:`TraceEvent` only if the buffer is read back.  On a
-        simulated run with tracing enabled this is the single hottest
-        observation call."""
+        Allocation-light: the event is buffered as a plain row tuple --
+        no dataclass construction, no validation -- and becomes columnar
+        or :class:`TraceEvent` form only when the buffer is read back.
+        On a simulated run with tracing enabled this is the single
+        hottest observation call."""
         buffer = self.buffer
-        events = buffer._events
-        if len(events) == buffer.capacity:
-            buffer.dropped += 1
         buffer._seq += 1
-        events.append(
-            (self.clock(), buffer._seq, self.component, category, name, phase, args)
-        )
+        buffer._columns = None
+        row = (self.clock(), buffer._seq, self.component, category, name, phase, args)
+        rows = buffer._rows
+        if len(rows) < buffer.capacity:
+            rows.append(row)
+        else:
+            head = buffer._head
+            rows[head] = row
+            buffer._head = (head + 1) % buffer.capacity
+            buffer.dropped += 1
 
 
 class TracingContext:
     """Wraps a runtime context, tracing sends/receives/computes.
 
     Installed by :func:`enable_tracing` between ``deploy`` and ``start``;
-    behaviour code is -- as always -- untouched.
+    behaviour code is -- as always -- untouched.  END events of the
+    middleware operations carry the causal identity of the message
+    (``span``/``cause``), its destination mailbox and size, which is what
+    :mod:`repro.trace.causal` reconstructs chains and queue depths from.
     """
 
     def __init__(self, delegate, tracer: Tracer) -> None:
@@ -104,30 +194,64 @@ class TracingContext:
     def __getattr__(self, item):
         return getattr(self._delegate, item)
 
+    def _dst_of(self, required_name: str) -> str:
+        req = self._delegate.component.get_required(required_name)
+        return req.target.qualified_name if req.target is not None else ""
+
     def send(self, required_name: str, payload, kind: str = "data", tag: str = "", size_bytes: int = -1) -> Generator:
         """Traced send: BEGIN/END events around the delegate call."""
+        delegate = self._delegate
         self._tracer.emit("middleware", "send", BEGIN, iface=required_name, kind=kind, tag=tag)
+        before = delegate.last_message
         try:
-            yield from self._delegate.send(required_name, payload, kind=kind, tag=tag, size_bytes=size_bytes)
+            yield from delegate.send(required_name, payload, kind=kind, tag=tag, size_bytes=size_bytes)
         finally:
-            self._tracer.emit("middleware", "send", END, iface=required_name)
+            m = delegate.last_message
+            if m is not None and m is not before:
+                self._tracer.emit(
+                    "middleware", "send", END, iface=required_name,
+                    span=m.span, cause=m.cause, dst=self._dst_of(required_name),
+                    size=m.size_bytes, kind=m.kind,
+                )
+            else:
+                self._tracer.emit("middleware", "send", END, iface=required_name)
 
     def receive(self, provided_name: str, timeout_ns: Optional[int] = None) -> Generator:
         """Traced receive: BEGIN/END events around the delegate call."""
+        delegate = self._delegate
         self._tracer.emit("middleware", "receive", BEGIN, iface=provided_name)
+        message = None
         try:
-            message = yield from self._delegate.receive(provided_name, timeout_ns=timeout_ns)
+            message = yield from delegate.receive(provided_name, timeout_ns=timeout_ns)
         finally:
-            self._tracer.emit("middleware", "receive", END, iface=provided_name)
+            if message is not None:
+                self._tracer.emit(
+                    "middleware", "receive", END, iface=provided_name,
+                    span=message.span, cause=message.cause, src=message.src,
+                    mbox=f"{delegate.component.name}.{provided_name}", kind=message.kind,
+                )
+            else:
+                self._tracer.emit("middleware", "receive", END, iface=provided_name)
         return message
 
     def deposit(self, provided_name: str, payload, kind: str = "data", tag: str = "") -> Generator:
         """Traced deposit: BEGIN/END events around the delegate call."""
-        self._tracer.emit("middleware", "deposit", BEGIN, iface=provided_name)
+        delegate = self._delegate
+        self._tracer.emit("middleware", "deposit", BEGIN, iface=provided_name, kind=kind, tag=tag)
+        before = delegate.last_message
         try:
-            yield from self._delegate.deposit(provided_name, payload, kind=kind, tag=tag)
+            yield from delegate.deposit(provided_name, payload, kind=kind, tag=tag)
         finally:
-            self._tracer.emit("middleware", "deposit", END, iface=provided_name)
+            m = delegate.last_message
+            if m is not None and m is not before:
+                self._tracer.emit(
+                    "middleware", "deposit", END, iface=provided_name,
+                    span=m.span, cause=m.cause,
+                    dst=f"{delegate.component.name}.{provided_name}",
+                    size=m.size_bytes, tag=tag,
+                )
+            else:
+                self._tracer.emit("middleware", "deposit", END, iface=provided_name)
 
     def compute(self, opclass: str, units: float) -> Generator:
         """Declare computational work (see ComponentContext.compute)."""

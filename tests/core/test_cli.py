@@ -36,6 +36,24 @@ def test_observe_outputs_json(capsys):
     assert "producer/os" in data and "consumer/middleware" in data
 
 
+def test_trace_prints_critical_path_and_writes_artifacts(capsys, tmp_path):
+    prefix = str(tmp_path / "TRACE")
+    assert main(["trace", "--images", "3", "--out", prefix]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "busiest mailboxes" in out
+    # The printed e2e and attributed figures agree (telescoping).
+    line = next(l for l in out.splitlines() if l.startswith("critical path"))
+    assert line.split("e2e ")[1].split(" us")[0] == line.split("attributed ")[1].split(" us")[0]
+    columns = json.loads((tmp_path / "TRACE.columns.json").read_text())
+    assert columns["format"] == "repro-trace-columns"
+    assert len(columns["columns"]["seq"]) > 0
+    chrome = json.loads((tmp_path / "TRACE.chrome.json").read_text())
+    flow_starts = [r for r in chrome if r.get("ph") == "s"]
+    flow_ends = [r for r in chrome if r.get("ph") == "f"]
+    assert flow_starts and flow_ends
+
+
 def test_requires_a_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -69,6 +69,41 @@ def test_deposits_counted_separately_from_sends():
     assert probe.data_sends.value == 0
 
 
+def test_deferred_samples_fold_identically():
+    """The tuple-buffer hot path defers timer folding; the folded report
+    must be indistinguishable from eager per-event recording."""
+    _, probe = make_probe()
+    msg = data_msg(64)
+    stamped = Message(payload=b"x" * 64, sent_at_us=5)
+    for i in range(100):
+        probe.record_send("out" if i % 3 else "aux", msg, 100 + i)
+        probe.record_receive("in", stamped, 200 + i, now_us=10 + i)
+    # Samples sit unfolded in the buffer until a timer is read.
+    assert len(probe._mw_samples) == 200
+    report = probe.report(MIDDLEWARE_LEVEL)
+    assert not probe._mw_samples
+    assert report["send"]["count"] == 100
+    assert report["send"]["total_ns"] == sum(100 + i for i in range(100))
+    assert report["receive"]["count"] == 100
+    assert set(report["send_by_interface"]) == {"out", "aux"}
+    assert report["send_by_interface"]["aux"]["count"] == 34
+    assert report["latency"]["count"] == 100
+
+
+def test_deferred_samples_survive_interleaved_reads():
+    """Reading a timer mid-run folds what is buffered; later samples are
+    folded by the next read -- nothing is lost or double-counted."""
+    _, probe = make_probe()
+    msg = data_msg(64)
+    probe.record_send("out", msg, 100)
+    assert probe.send_timer.count == 1
+    probe.record_send("out", msg, 300)
+    probe.record_send("out", msg, 500)
+    assert probe.send_timer.count == 3
+    assert probe.send_timer.total_ns == 900
+    assert probe.send_timers_by_iface["out"].count == 3
+
+
 def test_middleware_report_shape():
     _, probe = make_probe()
     probe.record_send("out", data_msg(), 100)

@@ -1,0 +1,93 @@
+"""Span conservation under seeded fault plans.
+
+The property: causal tracing makes message loss *explicit*.  For any
+seeded plan of transfer faults, every data span sent is accounted for --
+received exactly once, received twice with a ``duplicate`` fault record
+carrying its span, or received zero times with a ``drop``/``overflow``
+record carrying its span.  Nothing vanishes silently.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.runtime import SmpSimRuntime
+from repro.trace import SpanGraph, enable_tracing
+
+from tests.faults.conftest import make_pipeline
+
+N_MESSAGES = 40
+
+
+def _run(seed):
+    plan = (
+        FaultPlan(seed=seed)
+        .drop("prod", "out", probability=0.25)
+        .duplicate("prod", "out", probability=0.25)
+        .delay("prod", "out", probability=0.2, delay_ns=50_000)
+    )
+    app, sink = make_pipeline(n_messages=N_MESSAGES)
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    buffer = enable_tracing(rt)
+    injector = FaultInjector(plan).install(rt)
+    rt.start()
+    rt.wait()
+    rt.stop()
+    return buffer, injector, sink
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 7])
+def test_every_span_accounted_for(seed):
+    buffer, injector, sink = _run(seed)
+    graph = SpanGraph.from_trace(buffer)
+    data_sends = [
+        e for e in graph.edges.values() if e.op == "send" and e.kind == "data"
+    ]
+    assert len(data_sends) == N_MESSAGES
+    n_dropped = n_duplicated = 0
+    for edge in data_sends:
+        if edge.span in graph.dropped:
+            assert edge.receptions == 0, f"dropped span {edge.span} was received"
+            n_dropped += 1
+        elif edge.span in graph.duplicated:
+            assert edge.receptions == 2, f"duplicated span {edge.span} not doubled"
+            n_duplicated += 1
+        else:
+            assert edge.receptions == 1, f"span {edge.span} received {edge.receptions}x"
+    # Conservation: receives == sends - dropped + duplicated.
+    total_receptions = sum(e.receptions for e in data_sends)
+    assert total_receptions == N_MESSAGES - n_dropped + n_duplicated
+    # The consumer's sink saw exactly the delivered payload count.
+    assert len(sink) == total_receptions
+    # Control traffic is never faulted: eos delivered exactly once.
+    controls = [e for e in graph.edges.values() if e.op == "send" and e.kind == "control"]
+    assert controls and all(e.receptions == 1 for e in controls)
+    # Delay faults by themselves do not lose anything (a span can be
+    # delayed and *then* dropped by a later spec in the same plan).
+    for span in graph.delayed - set(graph.dropped):
+        assert graph.edges[span].receptions >= 1
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_fault_log_spans_match_graph(seed):
+    buffer, injector, sink = _run(seed)
+    graph = SpanGraph.from_trace(buffer)
+    logged = {
+        kind: {e["span"] for e in injector.log if e["kind"] == kind and "span" in e}
+        for kind in ("drop", "duplicate", "delay")
+    }
+    # The injector's own log and the trace-derived graph tell the same
+    # story, span for span.
+    assert set(graph.dropped) == logged["drop"]
+    assert graph.duplicated == logged["duplicate"]
+    assert graph.delayed == logged["delay"]
+
+
+def test_same_seed_same_fate():
+    g1 = SpanGraph.from_trace(_run(11)[0])
+    g2 = SpanGraph.from_trace(_run(11)[0])
+    assert set(g1.dropped) == set(g2.dropped)
+    assert g1.duplicated == g2.duplicated
+    assert {s: e.receptions for s, e in g1.edges.items()} == {
+        s: e.receptions for s, e in g2.edges.items()
+    }

@@ -135,5 +135,10 @@ def test_chrome_trace_from_runtime(tmp_path):
     rt.stop()
     path = tmp_path / "run.json"
     n = write_chrome_trace(buffer.events(), path)
-    assert n == len(buffer)
-    json.loads(path.read_text())  # valid JSON
+    assert n >= len(buffer)  # slice records plus causal flow records
+    records = json.loads(path.read_text())  # valid JSON
+    # Every delivered span produces a flow arrow: one "s" at the send END
+    # and one "f" at the receive END, joined by the span id.
+    starts = {r["id"] for r in records if r.get("ph") == "s"}
+    finishes = {r["id"] for r in records if r.get("ph") == "f"}
+    assert starts and finishes <= starts
