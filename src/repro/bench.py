@@ -226,6 +226,32 @@ def bench_kernel(quick: bool = False) -> Dict:
 
     t_probe = _best(run_probe, reps)
 
+    # Faults / recovery scenario (ROADMAP): simulated makespan of the
+    # MJPEG SMP decode fault-free, supervised under chaos, and supervised
+    # with exactly-once recovery -- plus the amortised per-restart
+    # overhead and the recovery bookkeeping volumes.  Makespans are
+    # virtual (simulated) time, so the numbers are deterministic.
+    from repro.faults import run_chaos_campaign
+    from repro.mjpeg.components import build_smp_assembly
+    from repro.mjpeg.stream import generate_stream
+    from repro.runtime.simulated import SmpSimRuntime
+
+    n_images = 4 if quick else 8
+    stream = generate_stream(n_images, 96, 96, quality=75, seed=1)
+    baseline_app = build_smp_assembly(stream, use_stored_coefficients=True)
+    baseline_rt = SmpSimRuntime()
+    baseline_rt.run(baseline_app)
+    baseline_rt.stop()
+    baseline_ns = baseline_rt.makespan_ns or 0
+
+    plain = run_chaos_campaign(seed=1, n_images=n_images)
+    recovered = run_chaos_campaign(seed=1, n_images=n_images, recover=True)
+    per_restart_ns = (
+        (recovered.makespan_ns - baseline_ns) // recovered.restarts
+        if recovered.restarts
+        else 0
+    )
+
     return {
         "suite": "kernel",
         "workload": {
@@ -256,6 +282,19 @@ def bench_kernel(quick: bool = False) -> Dict:
             "probe_record_send": {
                 "best_s": t_probe,
                 "ns_per_record": t_probe / n_records * 1e9,
+            },
+            "faults_campaign": {
+                "images": n_images,
+                "baseline_makespan_ns": baseline_ns,
+                "supervised_makespan_ns": plain.makespan_ns,
+                "recovery_makespan_ns": recovered.makespan_ns,
+                "restarts": recovered.restarts,
+                "per_restart_overhead_ns": per_restart_ns,
+                "frames_lost_without_recovery": len(plain.lost_frames),
+                "replayed": recovered.recovery.get("replayed", 0),
+                "deduped": recovered.recovery.get("deduped", 0),
+                "checkpoints": recovered.recovery.get("checkpoints", 0),
+                "exactly_once": recovered.ok,
             },
         },
     }

@@ -16,7 +16,7 @@ Commands
     Run the perf-trajectory microbenchmarks and write
     ``BENCH_kernel.json`` / ``BENCH_mjpeg.json`` in the current
     directory (see ``docs/performance.md``).
-``faults [--seed S] [--images N] [--drop-rate P] [--crashes K]``
+``faults [--seed S] [--images N] [--drop-rate P] [--crashes K] [--recover]``
     Run a seeded chaos campaign over the MJPEG SMP demo (crashes,
     drops, duplicates under supervision) and print the recovery
     report; exits 1 unless every surviving frame is bit-exact (see
@@ -152,6 +152,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         n_images=args.images,
         drop_rate=args.drop_rate,
         crashes=args.crashes,
+        recover=args.recover,
     )
     print(json.dumps(result.summary(), indent=2))
     for event in result.supervision:
@@ -160,12 +161,27 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             f"{event['action']:<8} attempt={event['attempt']} {event['error']}"
         )
     if not result.ok:
-        print("FAIL: campaign did not deliver bit-exact surviving frames", file=sys.stderr)
+        if args.recover:
+            print(
+                "FAIL: recovery campaign lost frames or diverged from the "
+                f"fault-free reference (lost={result.lost_frames})",
+                file=sys.stderr,
+            )
+        else:
+            print("FAIL: campaign did not deliver bit-exact surviving frames", file=sys.stderr)
         return 1
-    print(
+    line = (
         f"ok: {result.frames_delivered}/{result.frames_expected} frames bit-exact "
         f"after {result.restarts} restart(s), MTTR {result.mttr_us} us"
     )
+    if args.recover:
+        rec = result.recovery
+        line += (
+            f" | exactly-once: replayed={rec.get('replayed', 0)}"
+            f" deduped={rec.get('deduped', 0)}"
+            f" checkpoints={rec.get('checkpoints', 0)}"
+        )
+    print(line)
     return 0
 
 
@@ -289,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--drop-rate", type=float, default=0.05, help="message-drop probability"
     )
     faults.add_argument("--crashes", type=int, default=3, help="scheduled crash count")
+    faults.add_argument(
+        "--recover",
+        action="store_true",
+        help="install the recovery manager: checkpoints, acked delivery and "
+        "crash-consistent replay; requires the complete frame set bit-exact",
+    )
 
     trace = sub.add_parser(
         "trace", help="causal trace of the MJPEG SMP demo (critical path, flows)"

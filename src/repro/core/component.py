@@ -153,6 +153,27 @@ class Component:
         Table 1 increment over the bare thread stack."""
         return sum(p.mailbox_bytes for p in self.provided.values())
 
+    # -- recovery contract (control interface, see docs/robustness.md) -------
+
+    def snapshot(self) -> Optional[Dict[str, Any]]:
+        """Return a JSON/deepcopy-able dict of the component's resumable
+        state, or ``None`` when no consistent snapshot is possible right
+        now (mid-transaction) or the component does not support
+        checkpointing at all.
+
+        The contract: ``restore(snapshot())`` followed by a fresh
+        ``behavior()`` generator must reproduce the same outputs, in the
+        same order, as the uninterrupted run -- given the same inputs are
+        re-delivered.  Components that never return a state fall back to
+        full input replay from epoch 0 (see :mod:`repro.recovery`).
+        """
+        return None
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Reinstall a state previously returned by :meth:`snapshot`.
+        Called by the recovery manager before the supervisor restarts the
+        behaviour.  The default is a no-op (stateless component)."""
+
     # -- behaviour ------------------------------------------------------------
 
     def behavior(self, ctx: "ComponentContext") -> Generator:

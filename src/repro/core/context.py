@@ -59,6 +59,12 @@ class ComponentContext(ABC):
         #: observation probe does, so faults -- like observation -- need
         #: no change to behaviour code.
         self.faults = None
+        #: Optional exactly-once delivery hook (see :mod:`repro.recovery`).
+        #: Interposes at the same points as ``faults``: stamps delivery
+        #: sequence numbers and buffers retransmit copies on send, dedups
+        #: duplicates and heals gaps on receive -- again with no change to
+        #: behaviour code.
+        self.recovery = None
 
     @property
     def name(self) -> str:
@@ -133,6 +139,12 @@ class ComponentContext(ABC):
         )
         self.last_message = message
         t0 = self.now_ns()
+        recovery = self.recovery
+        if recovery is not None:
+            # Stamp the delivery sequence and buffer a retransmit copy
+            # *before* fault interposition: a message the injector drops
+            # (or a crash mid-send) stays replayable from the buffer.
+            recovery.on_send(self, required_name, req.target, message)
         faults = self.faults
         verdict = DELIVER
         if faults is not None:
@@ -157,10 +169,21 @@ class ComponentContext(ABC):
         """
         prov = self.component.get_provided(provided_name)
         faults = self.faults
-        if faults is not None:
-            yield from faults.before_receive(self, provided_name)
+        recovery = self.recovery
         t0 = self.now_ns()
-        message = yield from self._receive_from(prov, timeout_ns)
+        while True:
+            if recovery is not None:
+                # Checkpoint opportunity: the receive boundary is the one
+                # point where every recoverable component's state is
+                # consistent with its counters.
+                recovery.before_receive(self)
+            if faults is not None:
+                yield from faults.before_receive(self, provided_name)
+            message = yield from self._receive_from(prov, timeout_ns)
+            if recovery is None or recovery.on_message(self, provided_name, message):
+                break
+            # Duplicate deduped or a sequence gap healed by front-requeued
+            # replays: the popped message was not delivered -- poll again.
         if message.span != NO_SPAN:
             # Record the causal edge: whatever this component emits next
             # was caused by this reception.
@@ -168,6 +191,8 @@ class ComponentContext(ABC):
         self.last_message = message
         if faults is not None:
             yield from faults.after_receive(self, provided_name, message)
+        if recovery is not None:
+            recovery.on_delivered(self, message)
         if self.probe is not None:
             self.probe.record_receive(
                 provided_name, message, self.now_ns() - t0, now_us=self.now_us()
@@ -218,13 +243,20 @@ class ComponentContext(ABC):
         components (duration 0: the poll never blocked).
         """
         prov = self.component.get_provided(provided_name)
-        message = self._try_receive_from(prov)
-        if message is not None:
-            if message.span != NO_SPAN:
-                self._cause = message.span
-            self.last_message = message
-            if self.probe is not None:
-                self.probe.record_receive(provided_name, message, 0, now_us=self.now_us())
+        recovery = self.recovery
+        while True:
+            message = self._try_receive_from(prov)
+            if message is None:
+                return None
+            if recovery is None or recovery.on_message(self, provided_name, message):
+                break
+        if message.span != NO_SPAN:
+            self._cause = message.span
+        self.last_message = message
+        if recovery is not None:
+            recovery.on_delivered(self, message)
+        if self.probe is not None:
+            self.probe.record_receive(provided_name, message, 0, now_us=self.now_us())
         return message
 
     def _try_receive_from(self, provided):  # pragma: no cover - runtime-specific

@@ -65,6 +65,13 @@ class Message:
     #: components, runtimes and the EMBX transport.
     span: int = NO_SPAN
     cause: int = NO_SPAN
+    #: Durable-delivery sequence number (see :mod:`repro.recovery`): a
+    #: contiguous per-connection counter stamped by the recovery hook on
+    #: data and control sends.  0 means "not under delivery guarantees"
+    #: (no recovery manager installed, observation traffic, deposits);
+    #: receivers dedup and gap-detect by this, never by ``seq``/``span``
+    #: (which change on retransmission).
+    dseq: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:

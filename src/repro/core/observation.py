@@ -109,6 +109,14 @@ class ObservationProbe:
         self.fault_counts: Dict[str, int] = {}
         self.restarts = 0
         self.recovery_ns: list = []  # per-restart downtime samples (MTTR)
+        # Exactly-once recovery accounting (see repro.recovery): committed
+        # checkpoints and their cost, messages replayed to this component
+        # after a restart, duplicates discarded by sequence dedup.
+        self.checkpoints = 0
+        self.checkpoint_bytes = 0
+        self.checkpoint_ns: list = []  # per-checkpoint capture cost samples
+        self.replays = 0
+        self.dedups = 0
         #: Runtime-provided OS-level report: ``fn() -> dict``.
         self.os_adapter: Optional[Callable[[], Dict[str, Any]]] = None
         #: Runtime-provided middleware extras (e.g. live queue depths).
@@ -254,6 +262,21 @@ class ObservationProbe:
         self.restarts += 1
         self.recovery_ns.append(int(downtime_ns))
 
+    def record_checkpoint(self, nbytes: int, duration_ns: int) -> None:
+        """Account one committed recovery checkpoint: snapshot size and
+        capture cost (host time -- checkpointing is tooling, not workload)."""
+        self.checkpoints += 1
+        self.checkpoint_bytes += int(nbytes)
+        self.checkpoint_ns.append(int(duration_ns))
+
+    def record_replay(self) -> None:
+        """Account one message replayed to this component after a restart."""
+        self.replays += 1
+
+    def record_dedup(self) -> None:
+        """Account one duplicate discarded by delivery-sequence dedup."""
+        self.dedups += 1
+
     # -- reports --------------------------------------------------------------
 
     def report(self, level: str) -> Dict[str, Any]:
@@ -315,6 +338,16 @@ class ObservationProbe:
                 "injected": dict(self.fault_counts),
                 "restarts": self.restarts,
                 "mttr_us": (sum(recovery) // len(recovery)) // 1_000 if recovery else 0,
+            },
+            "recovery": {
+                "checkpoints": self.checkpoints,
+                "checkpoint_bytes": self.checkpoint_bytes,
+                "checkpoint_mean_ns": (
+                    sum(self.checkpoint_ns) // len(self.checkpoint_ns)
+                    if self.checkpoint_ns else 0
+                ),
+                "replayed": self.replays,
+                "deduped": self.dedups,
             },
         }
 

@@ -80,6 +80,23 @@ class DistributedObject:
         self.receives = 0
         self.peak_depth = 0
 
+    def requeue(self, payload: Any, nbytes: int) -> None:
+        """Front-insert a retransmitted message (recovery replay).
+
+        The copy already paid its transport cost on the original
+        ``EMBX_Send``; the replay is served from the sender-side
+        retransmit buffer straight into the object's queue, so only the
+        object-level accounting moves (the receive side still charges its
+        read copy when the message is drained).
+        """
+        if self.closed:
+            raise EmbxError(f"requeue on destroyed object {self.name!r}")
+        self.queue.put_front((payload, nbytes))
+        self.sends += 1
+        depth = len(self.queue)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<DistributedObject {self.name!r} {self.size_bytes}B cpu={self.owner_cpu}>"
 

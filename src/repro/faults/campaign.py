@@ -35,6 +35,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.supervisor import RestartPolicy, Supervisor
 from repro.mjpeg.components import BATCHES_PER_IMAGE, build_smp_assembly
 from repro.mjpeg.stream import generate_stream
+from repro.recovery import RecoveryManager
 from repro.runtime.simulated import SmpSimRuntime
 from repro.sim.rng import RngRegistry
 from repro.trace.tracer import enable_tracing
@@ -62,10 +63,27 @@ class CampaignResult:
     digest: str = ""
     makespan_ns: int = 0
     fault_trace_events: int = 0
+    recover: bool = False
+    recovery: Dict[str, Any] = field(default_factory=dict)
+    frames_digest: str = ""
+    reference_frames_digest: str = ""
 
     @property
     def ok(self) -> bool:
-        """Campaign invariant: completed and every survivor bit-exact."""
+        """Campaign invariant.
+
+        Without recovery: the run completed and every *surviving* frame is
+        bit-exact (dropped frames are tolerated).  With recovery the claim
+        is exactly-once: the **complete** frame set must come out, and its
+        digest must equal the fault-free reference digest bit for bit.
+        """
+        if self.recover:
+            return (
+                self.bit_exact
+                and not self.lost_frames
+                and self.frames_delivered == self.frames_expected
+                and self.frames_digest == self.reference_frames_digest
+            )
         return self.bit_exact and self.frames_delivered > 0
 
     def summary(self) -> Dict[str, Any]:
@@ -82,6 +100,10 @@ class CampaignResult:
             "bit_exact": self.bit_exact,
             "fault_trace_events": self.fault_trace_events,
             "digest": self.digest,
+            "recover": self.recover,
+            "recovery": self.recovery,
+            "frames_digest": self.frames_digest,
+            "reference_frames_digest": self.reference_frames_digest,
         }
 
 
@@ -123,6 +145,15 @@ def build_campaign_plan(
     return plan
 
 
+def _frames_digest(frames: Dict[int, np.ndarray]) -> str:
+    """Order-independent sha256 over the full decoded frame set."""
+    digest = hashlib.sha256()
+    for index in sorted(frames):
+        digest.update(index.to_bytes(4, "little"))
+        digest.update(frames[index].tobytes())
+    return digest.hexdigest()
+
+
 def _run_reference(stream) -> Dict[int, np.ndarray]:
     """Fault-free run; returns the decoded frames by index."""
     app = build_smp_assembly(
@@ -140,8 +171,15 @@ def run_chaos_campaign(
     drop_rate: float = 0.05,
     crashes: int = 3,
     max_attempts: int = 5,
+    recover: bool = False,
 ) -> CampaignResult:
-    """Run one seeded chaos campaign; see the module docstring."""
+    """Run one seeded chaos campaign; see the module docstring.
+
+    With ``recover=True`` a :class:`~repro.recovery.RecoveryManager` is
+    installed alongside the supervisor, upgrading the claim from
+    "survivors are bit-exact" to exactly-once: the complete frame set is
+    reproduced bit-identically despite crashes, drops and duplicates.
+    """
     stream = generate_stream(n_images, 96, 96, quality=75, seed=seed)
     reference = _run_reference(stream)
 
@@ -157,6 +195,7 @@ def run_chaos_campaign(
     rt.deploy(app)
     buffer = enable_tracing(rt)
     injector = FaultInjector(plan).install(rt)
+    recovery = RecoveryManager().install(rt) if recover else None
     supervisor = Supervisor(
         policy=RestartPolicy(max_attempts=max_attempts, base_backoff_ns=200_000),
         seed=seed,
@@ -211,4 +250,8 @@ def run_chaos_campaign(
         digest=digest.hexdigest(),
         makespan_ns=rt.makespan_ns or 0,
         fault_trace_events=len(fault_events),
+        recover=recover,
+        recovery=recovery.report() if recovery is not None else {},
+        frames_digest=_frames_digest(delivered),
+        reference_frames_digest=_frames_digest(reference),
     )

@@ -211,11 +211,19 @@ class Supervisor:
                 )
                 if backoff:
                     yield from ctx.sleep(backoff)
+                recovery = getattr(runtime, "recovery", None)
+                if recovery is not None:
+                    # Exactly-once resumption: restore the latest committed
+                    # checkpoint and replay unacknowledged inbound messages
+                    # before the behaviour respawns (see repro.recovery).
+                    recovery.on_restart(cont)
                 if probe is not None:
                     probe.record_restart(ctx.now_ns() - failed_at)
                 comp.state = ComponentState.RUNNING
-                # loop: a *fresh* behaviour generator; mailbox bindings and
-                # connections survive, in-flight messages are preserved.
+                # loop: a *fresh* behaviour generator (resuming from the
+                # restored checkpoint when recovery is installed); mailbox
+                # bindings and connections survive, in-flight messages are
+                # preserved.
 
     @staticmethod
     def _disconnect_inbound(comp) -> None:

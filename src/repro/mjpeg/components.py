@@ -79,6 +79,13 @@ class FetchComponent(Component):
         self.n_idct = n_idct
         self.batches_per_image = batches_per_image
         self.use_stored_coefficients = use_stored_coefficients
+        # Resumable progress (checkpoint contract): the next record to
+        # dispatch and how many batches of the current frame went out.
+        # Reset at behaviour start unless a restore primed them, so a
+        # recovery-less restart keeps the historical fresh-run semantics.
+        self._cursor = 0
+        self._sent_in_frame = 0
+        self._restored = False
         for i in range(1, n_idct + 1):
             self.add_required(f"fetchIdct{i}")
 
@@ -95,19 +102,44 @@ class FetchComponent(Component):
         ]
         return sorted(names, key=lambda n: int(n[len("fetchIdct"):]))
 
+    def snapshot(self) -> Optional[dict]:
+        """Consistent only at frame boundaries: mid-frame the dispatched
+        batches are not yet covered by the cursor."""
+        if self._sent_in_frame:
+            return None
+        return {"cursor": self._cursor}
+
+    def restore(self, state: dict) -> None:
+        """Resume dispatching from the checkpointed record."""
+        self._cursor = state["cursor"]
+        self._sent_in_frame = 0
+        self._restored = True
+
     def behavior(self, ctx) -> Generator:
         """The component's execution flow (generator over ctx)."""
+        if not self._restored:
+            self._cursor = 0
+            self._sent_in_frame = 0
+        self._restored = False
         quality = self.stream.quality
         for record in self.stream:
+            if record.index < self._cursor:
+                continue  # dispatched before a checkpointed restart
             coefs = _fetch_stage(record, quality, self.use_stored_coefficients)
             yield from ctx.compute("huffman_block", record.n_blocks)
             if record.index == 0:
+                self._cursor = 1
                 continue  # the first image primes the entropy state
             targets = self.idct_targets()
             batches = split_blocks(coefs.astype(np.float32), self.batches_per_image)
             for b, batch in enumerate(batches):
+                if b < self._sent_in_frame:
+                    continue  # sent before a crash; receivers dedup re-sends
                 payload = {"frame": record.index, "batch": b, "coefs": batch}
                 yield from ctx.send(targets[b % len(targets)], payload, tag=TAG_BATCH)
+                self._sent_in_frame = b + 1
+            self._sent_in_frame = 0
+            self._cursor = record.index + 1
         for target in self.idct_targets():
             yield from ctx.send(target, None, kind=CONTROL, tag=TAG_EOS)
 
@@ -119,23 +151,44 @@ class IdctComponent(Component):
         super().__init__(name)
         self.index = index
         self.input_name = f"_fetchIdct{index}"
+        self._processed = 0
+        #: True while a received batch is mid-transform: its effects are
+        #: not yet covered by the counters, so no consistent snapshot.
+        self._busy = False
+        self._restored = False
         self.add_provided(self.input_name)
         self.add_required("idctReorder")
 
+    def snapshot(self) -> Optional[dict]:
+        """Consistent at the receive boundary (``_busy`` clear)."""
+        if self._busy:
+            return None
+        return {"processed": self._processed}
+
+    def restore(self, state: dict) -> None:
+        """Resume the processed counter from the checkpoint."""
+        self._processed = state["processed"]
+        self._restored = True
+
     def behavior(self, ctx) -> Generator:
         """The component's execution flow (generator over ctx)."""
-        processed = 0
+        if not self._restored:
+            self._processed = 0
+        self._restored = False
+        self._busy = False
         while True:
             msg = yield from ctx.receive(self.input_name)
+            self._busy = True
             if msg.kind == CONTROL and msg.tag == TAG_EOS:
                 yield from ctx.send("idctReorder", None, kind=CONTROL, tag=TAG_EOS)
-                return processed
+                return self._processed
             batch = msg.payload
             pixels = idct_stage(batch["coefs"])
             yield from ctx.compute("idct_block", pixels.shape[0])
             payload = {"frame": batch["frame"], "batch": batch["batch"], "pixels": pixels}
             yield from ctx.send("idctReorder", payload, tag=TAG_PIXELS)
-            processed += 1
+            self._processed += 1
+            self._busy = False
 
 
 class ReorderComponent(Component):
@@ -169,6 +222,12 @@ class ReorderComponent(Component):
         #: Also the duplicate filter: a re-delivered batch of a finished
         #: frame must not resurrect it as a phantom pending frame.
         self.completed_indices: set = set()
+        # Resumable reassembly state (checkpoint contract); reset at
+        # behaviour start unless a restore primed it.
+        self._pending: Dict[int, Dict[int, np.ndarray]] = {}
+        self._eos_seen = 0
+        self._completed = 0
+        self._restored = False
         self.add_provided("idctReorder")
         self.add_provided("display")
 
@@ -177,22 +236,44 @@ class ReorderComponent(Component):
             return self.n_upstream
         return len(self.get_provided("idctReorder").connected_from)
 
+    def snapshot(self) -> Optional[dict]:
+        """Consistent at the receive boundary (the only point the
+        recovery manager probes a receive-only component)."""
+        return {
+            "pending": self._pending,
+            "eos_seen": self._eos_seen,
+            "completed": self._completed,
+            "completed_indices": self.completed_indices,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall reassembly progress.  ``frames`` (delivered output)
+        is deliberately not rolled back: re-completed frames overwrite
+        their index with identical content."""
+        self._pending = state["pending"]
+        self._eos_seen = state["eos_seen"]
+        self._completed = state["completed"]
+        self.completed_indices = state["completed_indices"]
+        self._restored = True
+
     def behavior(self, ctx) -> Generator:
         """The component's execution flow (generator over ctx)."""
         n_blocks = (self.height // 8) * (self.width // 8)
-        pending: Dict[int, Dict[int, np.ndarray]] = {}
-        eos_seen = 0
-        completed = 0
-        while eos_seen < self._upstream_count():
+        if not self._restored:
+            self._pending = {}
+            self._eos_seen = 0
+            self._completed = 0
+        self._restored = False
+        while self._eos_seen < self._upstream_count():
             msg = yield from ctx.receive("idctReorder")
             if msg.kind == CONTROL and msg.tag == TAG_EOS:
-                eos_seen += 1
+                self._eos_seen += 1
                 continue
             item = msg.payload
             index = item["frame"]
             if index in self.completed_indices:
                 continue  # duplicated batch of an already-delivered frame
-            frame_batches = pending.setdefault(index, {})
+            frame_batches = self._pending.setdefault(index, {})
             frame_batches[item["batch"]] = item["pixels"]
             if len(frame_batches) == self.batches_per_image:
                 batches = [frame_batches[i] for i in range(self.batches_per_image)]
@@ -201,18 +282,18 @@ class ReorderComponent(Component):
                 yield from ctx.deposit("display", image, tag=TAG_FRAME)
                 if self.keep_frames:
                     self.frames[index] = image
-                del pending[index]
+                del self._pending[index]
                 self.completed_indices.add(index)
-                completed += 1
-        if pending:
+                self._completed += 1
+        if self._pending:
             if not self.drop_incomplete:
                 raise RuntimeError(
-                    f"reorder finished with {len(pending)} incomplete frame(s): "
-                    f"{sorted(pending)[:5]}"
+                    f"reorder finished with {len(self._pending)} incomplete frame(s): "
+                    f"{sorted(self._pending)[:5]}"
                 )
-            ctx.log(f"dropped {len(pending)} incomplete frame(s): {sorted(pending)}")
-            pending.clear()
-        return completed
+            ctx.log(f"dropped {len(self._pending)} incomplete frame(s): {sorted(self._pending)}")
+            self._pending.clear()
+        return self._completed
 
 
 class FetchReorderComponent(Component):
@@ -236,27 +317,57 @@ class FetchReorderComponent(Component):
         self.use_stored_coefficients = use_stored_coefficients
         self.keep_frames = keep_frames
         self.frames: Dict[int, np.ndarray] = {}
+        # Resumable progress, gated exactly like FetchComponent: the
+        # frame boundary (nothing of the current frame dispatched) is the
+        # one consistent snapshot point of the merged send/collect loop.
+        self._cursor = 0
+        self._sent_in_frame = 0
+        self._completed = 0
+        self._restored = False
         for i in range(1, n_idct + 1):
             self.add_required(f"fetchIdct{i}")
         self.add_provided("idctReorder")
         self.add_provided("display")
 
+    def snapshot(self) -> Optional[dict]:
+        """Consistent only between frames (see class doc)."""
+        if self._sent_in_frame:
+            return None
+        return {"cursor": self._cursor, "completed": self._completed}
+
+    def restore(self, state: dict) -> None:
+        """Resume the dispatch/collect loop from the checkpointed frame."""
+        self._cursor = state["cursor"]
+        self._completed = state["completed"]
+        self._sent_in_frame = 0
+        self._restored = True
+
     def behavior(self, ctx) -> Generator:
         """The component's execution flow (generator over ctx)."""
+        if not self._restored:
+            self._cursor = 0
+            self._sent_in_frame = 0
+            self._completed = 0
+        self._restored = False
         stream = self.stream
         quality = stream.quality
         n_blocks = stream.n_blocks_per_frame
-        completed = 0
         for record in stream:
+            if record.index < self._cursor:
+                continue  # handled before a checkpointed restart
             coefs = _fetch_stage(record, quality, self.use_stored_coefficients)
             yield from ctx.compute("huffman_block", record.n_blocks)
             if record.index == 0:
+                self._cursor = 1
                 continue
             batches = split_blocks(coefs.astype(np.float32), self.batches_per_image)
             for b, batch in enumerate(batches):
+                if b < self._sent_in_frame:
+                    continue  # sent before a crash; the IDCTs dedup re-sends
                 target = f"fetchIdct{(b % self.n_idct) + 1}"
                 payload = {"frame": record.index, "batch": b, "coefs": batch}
                 yield from ctx.send(target, payload, tag=TAG_BATCH)
+                self._sent_in_frame = b + 1
             # Reorder half: collect this frame's batches back.
             got: Dict[int, np.ndarray] = {}
             while len(got) < self.batches_per_image:
@@ -270,7 +381,9 @@ class FetchReorderComponent(Component):
             yield from ctx.deposit("display", image, tag=TAG_FRAME)
             if self.keep_frames:
                 self.frames[record.index] = image
-            completed += 1
+            self._completed += 1
+            self._sent_in_frame = 0
+            self._cursor = record.index + 1
         for i in range(1, self.n_idct + 1):
             yield from ctx.send(f"fetchIdct{i}", None, kind=CONTROL, tag=TAG_EOS)
         # Drain the IDCTs' end-of-stream acknowledgements.
@@ -279,7 +392,7 @@ class FetchReorderComponent(Component):
             msg = yield from ctx.receive("idctReorder")
             if msg.kind == CONTROL and msg.tag == TAG_EOS:
                 eos_seen += 1
-        return completed
+        return self._completed
 
 
 def build_smp_assembly(

@@ -1,0 +1,26 @@
+"""Exactly-once recovery for EMBera applications.
+
+Three cooperating layers (see ``docs/robustness.md``):
+
+- **Checkpointing** -- components expose :meth:`~repro.core.component.Component.snapshot`
+  / :meth:`~repro.core.component.Component.restore` through the control
+  interface; the :class:`RecoveryManager` commits periodic checkpoints at
+  consistent boundaries and restores the latest one before a supervised
+  restart.
+- **Durable acked delivery** -- every data/control send is stamped with a
+  contiguous per-connection delivery sequence number (``Message.dseq``)
+  and buffered sender-side until the receiver folds it into a committed
+  checkpoint (ack-on-checkpoint).  Receivers dedup duplicates and heal
+  sequence gaps from the retransmit buffer.
+- **Crash-consistent replay** -- on restart, unacknowledged messages are
+  replayed to the restored component in original send order, each replica
+  causally linked to the original send's span.
+
+Together these make the fault injector's crash / drop / duplicate faults
+recoverable with exactly-once end-to-end effects, on all three runtimes
+and through the EMBX transport.
+"""
+
+from repro.recovery.manager import RecoveryManager
+
+__all__ = ["RecoveryManager"]

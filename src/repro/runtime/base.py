@@ -52,6 +52,11 @@ class Runtime(ABC):
         #: components (next() on a count is atomic under CPython -- no
         #: lock even on the thread runtime).
         self.span_source = count(1)
+        #: Optional :class:`repro.recovery.RecoveryManager` (set by
+        #: ``recovery.install(runtime)`` between deploy and start).  When
+        #: present, data/control sends carry delivery sequence numbers and
+        #: supervised restarts replay unacknowledged messages.
+        self.recovery = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -189,6 +194,12 @@ class Runtime(ABC):
         if self.app is None or self.app.observer is None:
             raise RuntimeError_("no observer attached; call app.attach_observer() before deploy")
         return [(t, level) for t in self.app.observer.targets for level in LEVELS]
+
+    def _requeue(self, provided, message) -> None:  # pragma: no cover - runtime-specific
+        """Front-insert ``message`` into ``provided``'s binding -- the
+        recovery manager's retransmission primitive.  Each runtime maps
+        this onto its transport's head-insert."""
+        raise NotImplementedError(f"{type(self).__name__} does not support message replay")
 
     def _behavior_body(self, cont: ComponentContainer):
         """The generator actually spawned for a component's execution

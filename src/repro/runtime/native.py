@@ -77,6 +77,19 @@ class NativeMailbox:
         except queue.Empty:
             return False, None
 
+    def put_front(self, message: Message) -> None:
+        """Head-insert a message (recovery retransmission).
+
+        ``queue.Queue`` has no public front-insert, but its deque and
+        condition variables are documented extension points; mutating
+        under ``mutex`` keeps every invariant a blocked ``get`` relies on.
+        """
+        q = self.queue
+        with q.mutex:
+            q.queue.appendleft(message)
+            q.unfinished_tasks += 1
+            q.not_empty.notify()
+
 
 def _copy_payload(payload: Any) -> Any:
     """Copy-on-send semantics for buffer-like payloads."""
@@ -189,6 +202,9 @@ class NativeRuntime(Runtime):
         with self._lock:
             self._heap_counter += 1
             return self._heap_counter
+
+    def _requeue(self, provided, message: Message) -> None:
+        provided.binding.put_front(message)
 
     # -- lifecycle ---------------------------------------------------------------
 

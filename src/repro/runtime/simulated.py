@@ -488,6 +488,11 @@ class SmpSimRuntime(SimRuntime):
     def _data_queue(self, provided) -> Channel:
         return provided.binding.channel
 
+    def _requeue(self, provided, message: Message) -> None:
+        # Replays skip the send-side copy/cache costs: the bytes already
+        # sit in the mailbox buffer from the original transfer.
+        provided.binding.channel.put_front(message)
+
     def _heap_region(self, cont: ComponentContainer):
         return self.system.node_region(cont.extra["node"])
 
@@ -618,6 +623,9 @@ class Sti7200SimRuntime(SimRuntime):
 
     def _data_queue(self, provided) -> Channel:
         return provided.binding.queue
+
+    def _requeue(self, provided, message: Message) -> None:
+        provided.binding.requeue(message, message.size_bytes)
 
     def _heap_region(self, cont: ComponentContainer):
         # Tasks allocate from their CPU's local memory: ST231s from their

@@ -154,6 +154,29 @@ class Channel:
         else:
             self._items.append(item)
 
+    def put_front(self, item: Any) -> None:
+        """Insert an item at the *head* of the queue -- the retransmission
+        primitive: a recovery manager replays unacknowledged messages
+        ahead of everything already enqueued, so a restarted receiver
+        processes them in the original delivery order.
+
+        With a getter already blocked the item is handed over directly
+        (the queue is empty, so head and tail coincide).  Callers that
+        front-insert several items must do so in reverse order and only
+        while the consumer is not blocked on ``get`` (true for both
+        recovery paths: restart replay runs before the behaviour is
+        respawned, gap healing runs inside the consumer's own receive).
+        """
+        if self.full:
+            raise SimulationError(f"channel {self.name!r} full (capacity={self.capacity})")
+        self.total_put += 1
+        getters = self._getters
+        if getters:
+            getters.popleft().trigger(item)
+            self.total_got += 1
+        else:
+            self._items.appendleft(item)
+
     def get(self) -> Generator[Command, Any, Any]:
         """``item = yield from chan.get()`` -- wait for an item (FIFO).
 

@@ -152,6 +152,13 @@ class SpanGraph:
         self.delayed: set = set()
         #: spans consumed by a component that then crashed on them.
         self.crashed: set = set()
+        #: replica span -> original span, for messages the recovery
+        #: manager retransmitted (each replica's receive edge carries the
+        #: original send's span as its cause -- the causal replay link).
+        self.replayed: Dict[int, int] = {}
+        #: spans discarded by delivery-sequence dedup (injected
+        #: duplicates and post-restart re-sends).
+        self.deduped: set = set()
 
     # -- construction -------------------------------------------------------
 
@@ -237,6 +244,17 @@ class SpanGraph:
                     graph.delayed.add(span)
                 elif name == "crash":
                     graph.crashed.add(span)
+            elif cat == "recovery":
+                args = args_col[i]
+                name = name_col[i]
+                if name == "replay":
+                    span, orig = args.get("span"), args.get("orig")
+                    if span and orig:
+                        graph.replayed[span] = orig
+                elif name == "dedup":
+                    span = args.get("span")
+                    if span:
+                        graph.deduped.add(span)
         return graph
 
     # -- queries ------------------------------------------------------------

@@ -253,6 +253,24 @@ class TracingContext:
             else:
                 self._tracer.emit("middleware", "deposit", END, iface=provided_name)
 
+    def try_receive(self, provided_name: str):
+        """Traced non-blocking receive.  A *successful* poll emits the
+        same BEGIN/END pair (zero duration, ``poll=True``) as a blocking
+        receive, so polling consumers still produce the -1 edge the
+        queue-depth series needs.  Empty polls move no message and stay
+        untraced -- a polling loop must not flood the ring buffer."""
+        delegate = self._delegate
+        message = delegate.try_receive(provided_name)
+        if message is not None:
+            self._tracer.emit("middleware", "receive", BEGIN, iface=provided_name, poll=True)
+            self._tracer.emit(
+                "middleware", "receive", END, iface=provided_name,
+                span=message.span, cause=message.cause, src=message.src,
+                mbox=f"{delegate.component.name}.{provided_name}", kind=message.kind,
+                poll=True,
+            )
+        return message
+
     def compute(self, opclass: str, units: float) -> Generator:
         """Declare computational work (see ComponentContext.compute)."""
         self._tracer.emit("compute", opclass, BEGIN, units=units)

@@ -119,6 +119,21 @@ def test_escalation_after_max_attempts():
     assert [e.action for e in sup.events] == ["restart", "restart", "escalate"]
 
 
+def test_escalation_chains_the_causing_exception():
+    """``raise EscalationError ... from err``: the original fault stays
+    inspectable as ``__cause__`` instead of being flattened to a string."""
+    app, _ = make_flaky_app(failures=99)
+    rt = SmpSimRuntime()
+    rt.deploy(app)
+    Supervisor(policy=RestartPolicy(max_attempts=2, base_backoff_ns=1_000)).install(rt)
+    rt.start()
+    with pytest.raises(EscalationError) as err:
+        rt.wait()
+    cause = err.value.__cause__
+    assert isinstance(cause, ValueError)
+    assert "transient consumer fault" in str(cause)
+
+
 def test_halt_policy_propagates_the_original_error():
     app, _ = make_flaky_app(failures=1)
     rt = SmpSimRuntime()

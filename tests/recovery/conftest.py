@@ -1,0 +1,57 @@
+"""Shared fixtures for exactly-once recovery tests."""
+
+from repro.core import Application, CONTROL
+from repro.core.component import Component
+
+
+def int_producer(n_messages):
+    """Producer sending the ints 0..n-1 then a control EOS."""
+
+    def behavior(ctx):
+        for i in range(n_messages):
+            yield from ctx.send("out", i, tag=f"m{i}")
+        yield from ctx.send("out", None, kind=CONTROL, tag="eos")
+
+    return behavior
+
+
+class CheckpointedSink(Component):
+    """Consumer whose collected payloads are checkpointable state.
+
+    The recovery contract in one component: ``snapshot()`` returns the
+    resumable state at a receive boundary, ``restore()`` reinstalls it,
+    and the behaviour only resets itself when it was *not* primed by a
+    restore (so unrecovered restarts keep the fresh-start semantics).
+    """
+
+    def __init__(self, name="cons"):
+        super().__init__(name)
+        self.add_provided("in")
+        self.received = []
+        self._restored = False
+
+    def snapshot(self):
+        return {"received": list(self.received)}
+
+    def restore(self, state):
+        self.received = list(state["received"])
+        self._restored = True
+
+    def behavior(self, ctx):
+        if not self._restored:
+            self.received = []
+        self._restored = False
+        while True:
+            msg = yield from ctx.receive("in")
+            if msg.kind == CONTROL:
+                return len(self.received)
+            self.received.append(msg.payload)
+
+
+def make_recoverable_pipeline(n_messages=20):
+    """prod --out/in--> CheckpointedSink; returns (app, sink component)."""
+    app = Application("recpipe")
+    app.create("prod", behavior=int_producer(n_messages), requires=["out"])
+    sink = app.add(CheckpointedSink("cons"))
+    app.connect("prod", "out", "cons", "in")
+    return app, sink
