@@ -14,14 +14,29 @@ Every bench reports the best wall-clock time over several repetitions
 so successive commits can be compared point-to-point.  ``--quick``
 shrinks the workloads for CI smoke runs; the numbers are noisier but
 the artifact shape is identical.
+
+``--workers N`` fans the per-frame decode benches across a
+``multiprocessing`` pool: frames are sharded round-robin, every worker
+times its shard independently (same reps, same best-of-reps rule), and
+the per-shard results are merged by summing the shard bests -- the same
+total-work figure a single process would report, measured in a fraction
+of the wall time.  Single-process output (``--workers 1``, the default)
+is byte-compatible with previous revisions.
+
+``--check`` re-runs the kernel hot-path benches (``schedule_run``,
+``tracer_emit``) and compares them against the committed
+``BENCH_kernel.json``; a >25% per-op regression fails the run (CI gate).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import time
-from typing import Callable, Dict, List
+from datetime import datetime, timezone
+from typing import Callable, Dict, List, Optional
 
 
 def _best(fn: Callable[[], object], reps: int) -> float:
@@ -42,21 +57,23 @@ def _frames(n_images: int):
     return [record.frame for record in stream.records]
 
 
-def bench_mjpeg(quick: bool = False) -> Dict:
-    """Codec benches; returns the BENCH_mjpeg.json payload."""
+def _decode_shard(shard_args: tuple) -> Dict:
+    """Worker body for ``--workers``: time one shard of the per-frame
+    decode/encode benches.  The stream is regenerated from its seed
+    rather than pickled (deterministic and cheaper than shipping frame
+    payloads through the pool)."""
+    n_images, quick, indices = shard_args
     import numpy as np
 
+    from repro.mjpeg import generate_stream
     from repro.mjpeg.bitio import BitReader, BitWriter
     from repro.mjpeg.decoder import decode_plane, decode_plane_reference
     from repro.mjpeg.encoder import encode_plane
 
-    n_images = 2 if quick else 8
     reps = 3 if quick else 9
-    frames = _frames(n_images)
-    n_blocks_total = sum(f.n_blocks for f in frames)
+    stream = generate_stream(n_images, 96, 96, quality=75, seed=0)
+    frames = [stream.records[i].frame for i in indices]
 
-    # Correctness gate: the fast path must match the reference walk
-    # bit-for-bit before its timing means anything.
     for frame in frames:
         fast = decode_plane(BitReader(frame.payload), frame.n_blocks)
         ref = decode_plane_reference(BitReader(frame.payload), frame.n_blocks)
@@ -73,7 +90,6 @@ def bench_mjpeg(quick: bool = False) -> Dict:
         ],
         reps,
     )
-
     qzzs = [np.asarray(f.qcoefs_zz, dtype=np.int32) for f in frames]
 
     def run_encode() -> None:
@@ -84,6 +100,73 @@ def bench_mjpeg(quick: bool = False) -> Dict:
             writer.getvalue()
 
     t_encode = _best(run_encode, reps)
+    return {
+        "fast": t_fast,
+        "walk": t_walk,
+        "encode": t_encode,
+        "blocks": sum(f.n_blocks for f in frames),
+    }
+
+
+def bench_mjpeg(quick: bool = False, workers: int = 1) -> Dict:
+    """Codec benches; returns the BENCH_mjpeg.json payload."""
+    import numpy as np
+
+    from repro.mjpeg.bitio import BitReader, BitWriter
+    from repro.mjpeg.decoder import decode_plane, decode_plane_reference
+    from repro.mjpeg.encoder import encode_plane
+
+    n_images = 2 if quick else 8
+    reps = 3 if quick else 9
+    frames = _frames(n_images)
+    n_blocks_total = sum(f.n_blocks for f in frames)
+
+    if workers > 1:
+        # Shard frames round-robin across the pool; each worker times
+        # its shard and the shard bests sum to the total-work figure.
+        import multiprocessing
+
+        n_shards = min(workers, len(frames))
+        shards = [
+            (n_images, quick, list(range(s, len(frames), n_shards)))
+            for s in range(n_shards)
+        ]
+        with multiprocessing.Pool(n_shards) as pool:
+            results = pool.map(_decode_shard, shards)
+        t_fast = sum(r["fast"] for r in results)
+        t_walk = sum(r["walk"] for r in results)
+        t_encode = sum(r["encode"] for r in results)
+        assert sum(r["blocks"] for r in results) == n_blocks_total
+    else:
+        # Correctness gate: the fast path must match the reference walk
+        # bit-for-bit before its timing means anything.
+        for frame in frames:
+            fast = decode_plane(BitReader(frame.payload), frame.n_blocks)
+            ref = decode_plane_reference(BitReader(frame.payload), frame.n_blocks)
+            if not np.array_equal(fast, ref):
+                raise AssertionError("decode_plane mismatch vs reference walk")
+
+        t_fast = _best(
+            lambda: [decode_plane(BitReader(f.payload), f.n_blocks) for f in frames],
+            reps,
+        )
+        t_walk = _best(
+            lambda: [
+                decode_plane_reference(BitReader(f.payload), f.n_blocks) for f in frames
+            ],
+            reps,
+        )
+
+        qzzs = [np.asarray(f.qcoefs_zz, dtype=np.int32) for f in frames]
+
+        def run_encode() -> None:
+            for qzz in qzzs:
+                writer = BitWriter()
+                encode_plane(writer, qzz)
+                writer.align()
+                writer.getvalue()
+
+        t_encode = _best(run_encode, reps)
 
     # Trace scenario: the full componentized SMP decode with tracing on
     # vs off.  The ratio is the real-world cost of causal observation --
@@ -110,9 +193,14 @@ def bench_mjpeg(quick: bool = False) -> Dict:
     t_untraced = _best(lambda: run_decode(False), trace_reps)
     t_traced = _best(lambda: run_decode(True), trace_reps)
 
+    workload = {"images": n_images, "blocks": n_blocks_total, "reps": reps}
+    if workers > 1:
+        # Only stamped on sharded runs, so single-process output stays
+        # byte-compatible with earlier revisions of this artifact.
+        workload["workers"] = workers
     return {
         "suite": "mjpeg",
-        "workload": {"images": n_images, "blocks": n_blocks_total, "reps": reps},
+        "workload": workload,
         "trace_workload": {"images": trace_images, "reps": trace_reps},
         "benches": {
             "entropy_decode_lut": {
@@ -183,12 +271,37 @@ def bench_kernel(quick: bool = False) -> Dict:
         noop = lambda: None  # noqa: E731
         handles = [kernel.schedule(i + 1, noop) for i in range(n_cancel)]
         # Cancel every handle not on the immediate frontier; compaction
-        # keeps the heap from holding dead entries until their time.
+        # keeps the calendar from holding dead entries until their time.
         for handle in handles[100:]:
             handle.cancel()
         kernel.run()
 
     t_cancel = _best(run_cancel, reps)
+
+    # Deadline-timer churn: the receive-with-deadline pattern where the
+    # message beats the timer, so every timer is scheduled then
+    # cancelled.  These ride the kernel's timer wheel -- a cancelled
+    # deadline never enters the calendar, never becomes a tombstone and
+    # never triggers compaction.
+    def run_timer_churn() -> None:
+        kernel = Kernel()
+        noop = lambda: None  # noqa: E731
+        remaining = [n_cancel]
+        pending = [None]
+
+        def deliver() -> None:
+            if pending[0] is not None:
+                pending[0].cancel()  # the "message" wins the race
+                pending[0] = None
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                pending[0] = kernel.schedule_timer(5_000, noop)
+                kernel.schedule(7, deliver)
+
+        deliver()
+        kernel.run()
+
+    t_timer = _best(run_timer_churn, reps)
 
     def run_emit() -> None:
         buffer = TraceBuffer(capacity=n_emit)
@@ -275,6 +388,10 @@ def bench_kernel(quick: bool = False) -> Dict:
                 "best_s": t_cancel,
                 "ns_per_cancel": t_cancel / n_cancel * 1e9,
             },
+            "timer_churn": {
+                "best_s": t_timer,
+                "ns_per_timer": t_timer / n_cancel * 1e9,
+            },
             "tracer_emit": {
                 "best_s": t_emit,
                 "ns_per_emit": t_emit / n_emit * 1e9,
@@ -300,19 +417,75 @@ def bench_kernel(quick: bool = False) -> Dict:
     }
 
 
-def run_benches(quick: bool = False, out_dir: str = ".") -> List[str]:
-    """Run both suites and write the JSON artifacts; returns the paths."""
-    import os
+def _git_rev() -> Optional[str]:
+    """Short git revision of the working tree, or None outside a repo."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
 
-    meta = {
+
+def _meta(quick: bool) -> Dict:
+    """The ``meta`` block stamped into both artifacts: interpreter and
+    machine for comparability, git rev + ISO timestamp so every number
+    in the perf trajectory is attributable to one commit."""
+    return {
         "python": platform.python_version(),
         "machine": platform.machine(),
         "quick": quick,
+        "git_rev": _git_rev(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
+
+
+#: Benches the --check gate re-runs, with the per-op key to compare.
+_CHECK_BENCHES = (
+    ("schedule_run", "ns_per_event"),
+    ("tracer_emit", "ns_per_emit"),
+)
+
+#: Maximum tolerated per-op regression versus the committed baseline.
+_CHECK_TOLERANCE = 0.25
+
+
+def check_regressions(
+    quick: bool = True, baseline_path: str = "BENCH_kernel.json"
+) -> bool:
+    """Perf-regression gate (``bench --quick --check``): re-run the
+    kernel hot-path benches and compare per-op figures against the
+    committed baseline.  Returns True when everything is within
+    tolerance; prints one line per bench either way."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)["benches"]
+    current = bench_kernel(quick)["benches"]
+    ok = True
+    for bench_name, per_op_key in _CHECK_BENCHES:
+        old = baseline[bench_name][per_op_key]
+        new = current[bench_name][per_op_key]
+        ratio = new / old if old else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + _CHECK_TOLERANCE:
+            verdict = f"REGRESSION (>{_CHECK_TOLERANCE:.0%} over baseline)"
+            ok = False
+        print(
+            f"check {bench_name}: {new:.0f} vs baseline {old:.0f} {per_op_key}"
+            f" ({ratio:.2f}x) {verdict}"
+        )
+    return ok
+
+
+def run_benches(quick: bool = False, out_dir: str = ".", workers: int = 1) -> List[str]:
+    """Run both suites and write the JSON artifacts; returns the paths."""
+    meta = _meta(quick)
     paths = []
     for name, payload in (
         ("BENCH_kernel.json", bench_kernel(quick)),
-        ("BENCH_mjpeg.json", bench_mjpeg(quick)),
+        ("BENCH_mjpeg.json", bench_mjpeg(quick, workers=workers)),
     ):
         payload["meta"] = meta
         path = os.path.join(out_dir, name)

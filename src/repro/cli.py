@@ -12,10 +12,13 @@ Commands
 ``observe``
     Run the quickstart pipeline on the native runtime and dump all three
     observation levels as JSON.
-``bench [--quick]``
+``bench [--quick] [--workers N] [--check]``
     Run the perf-trajectory microbenchmarks and write
     ``BENCH_kernel.json`` / ``BENCH_mjpeg.json`` in the current
-    directory (see ``docs/performance.md``).
+    directory (see ``docs/performance.md``).  ``--workers N`` shards
+    the per-frame decode benches across a process pool; ``--check``
+    re-runs the kernel hot paths and fails on a >25% regression versus
+    the committed ``BENCH_kernel.json`` instead of writing artifacts.
 ``faults [--seed S] [--images N] [--drop-rate P] [--crashes K] [--recover]``
     Run a seeded chaos campaign over the MJPEG SMP demo (crashes,
     drops, duplicates under supervision) and print the recovery
@@ -131,9 +134,16 @@ def _cmd_observe(_args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.check:
+        # Regression gate: compare against the committed artifact
+        # instead of overwriting it.
+        from repro.bench import check_regressions
+
+        return 0 if check_regressions(quick=args.quick) else 1
+
     from repro.bench import run_benches
 
-    paths = run_benches(quick=args.quick)
+    paths = run_benches(quick=args.quick, workers=args.workers)
     for path in paths:
         with open(path) as fh:
             payload = json.load(fh)
@@ -294,6 +304,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="run microbenches, write BENCH_*.json")
     bench.add_argument(
         "--quick", action="store_true", help="small workloads (CI smoke run)"
+    )
+    bench.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the per-frame decode benches across N processes",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="re-run kernel hot-path benches and fail on a >25% regression "
+        "versus the committed BENCH_kernel.json (writes nothing)",
     )
 
     faults = sub.add_parser(

@@ -91,7 +91,7 @@ class FaultInjector:
         #: the same seeded campaign produce identical logs -- the
         #: reproducibility contract tests assert on.
         self.log: List[Dict[str, Any]] = []
-        self._transfer_specs: Dict[tuple, List[FaultSpec]] = {}
+        self._transfer_specs: Dict[tuple, List[tuple]] = {}  # (spec, rng stream) pairs
         self._receive_specs: Dict[str, List[FaultSpec]] = {}
         self._time_crashes: List[FaultSpec] = []
         self._armed: Dict[str, List[FaultSpec]] = {}
@@ -103,7 +103,14 @@ class FaultInjector:
         self.installed = False
         for spec in plan.specs:
             if spec.kind in TRANSFER_KINDS:
-                self._transfer_specs.setdefault((spec.component, spec.interface), []).append(spec)
+                # Pair each spec with its rng stream up front: streams are
+                # memoized by name in the registry, so this draws the same
+                # sequence as a per-transfer lookup while keeping the hot
+                # interposition path free of string formatting.
+                stream = self.rng.stream(f"fault.{spec.kind}.{spec.component}.{spec.interface}")
+                self._transfer_specs.setdefault((spec.component, spec.interface), []).append(
+                    (spec, stream)
+                )
             elif spec.kind == CRASH and spec.at_ns is not None:
                 self._time_crashes.append(spec)
             else:  # crash-at-nth-receive, stall
@@ -224,8 +231,7 @@ class FaultInjector:
         if not specs:
             return DELIVER
         verdict = DELIVER
-        for spec in specs:
-            stream = self.rng.stream(f"fault.{spec.kind}.{spec.component}.{spec.interface}")
+        for spec, stream in specs:
             if spec.kind == DELAY:
                 if stream.random() < spec.probability:
                     self._record(

@@ -71,6 +71,10 @@ class RecoveryManager:
         self._conts: Dict[str, Any] = {}
         #: Next delivery sequence per connection.
         self._send_dseq: Dict[ConnKey, int] = {}
+        #: Per-component index into ``_send_dseq`` keys, so a checkpoint
+        #: snapshots only the component's own connections instead of
+        #: filtering every connection in the runtime.
+        self._send_keys: Dict[str, List[ConnKey]] = {}
         #: Sender-side retransmit buffers:
         #: ``(src, iface) -> {dseq: (uid, message copy, target provided)}``.
         self._unacked: Dict[ConnKey, Dict[int, tuple]] = {}
@@ -143,7 +147,7 @@ class RecoveryManager:
         ckpt = {
             "epoch": self._epoch.get(name, -1) + 1,
             "state": deepcopy(state),
-            "send": {k: v for k, v in self._send_dseq.items() if k[0] == name},
+            "send": {k: self._send_dseq[k] for k in self._send_keys.get(name, ())},
             "rx": {
                 k: {"next": v["next"], "seen": set(v["seen"])}
                 for k, v in self._rx.get(name, {}).items()
@@ -186,6 +190,8 @@ class RecoveryManager:
                 self._take_checkpoint(name)
             key = (name, required_name)
             dseq = self._send_dseq.get(key, 0) + 1
+            if dseq == 1:
+                self._send_keys.setdefault(name, []).append(key)
             self._send_dseq[key] = dseq
             message.dseq = dseq
             # The copy shares the payload reference deliberately: CORRUPT
@@ -311,7 +317,7 @@ class RecoveryManager:
                 # committed instant: re-sends reuse the same dseq (deduped
                 # downstream), replays of already-seen messages pass
                 # admission again.
-                for key in [k for k in self._send_dseq if k[0] == name]:
+                for key in self._send_keys.get(name, ()):
                     self._send_dseq[key] = ckpt["send"].get(key, 0)
                 self._rx[name] = {
                     k: {"next": v["next"], "seen": set(v["seen"])}
@@ -320,7 +326,7 @@ class RecoveryManager:
             else:
                 # Never checkpointed: fall back to a fresh behaviour plus
                 # full replay from epoch 0 (nothing was ever acked).
-                for key in [k for k in self._send_dseq if k[0] == name]:
+                for key in self._send_keys.pop(name, ()):
                     del self._send_dseq[key]
                 self._rx.pop(name, None)
             self._delivered.pop(name, None)

@@ -105,7 +105,13 @@ class Process:
         self._pending_handle = None
         if not daemon:
             kernel._live_processes += 1
-        self._pending_handle = kernel.schedule(start_delay_ns, self._resume, None)
+        # Zero-delay starts ride the immediate queue: call_soon is
+        # ordering-identical to schedule(0, ...) by the kernel contract
+        # but skips the calendar insert entirely.
+        if start_delay_ns:
+            self._pending_handle = kernel.schedule(start_delay_ns, self._resume, None)
+        else:
+            self._pending_handle = kernel.call_soon(self._resume, None)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -173,7 +179,13 @@ class Process:
 
     def _dispatch(self, command: Command) -> None:
         if isinstance(command, Timeout):
-            self._pending_handle = self.kernel.schedule(command.delay_ns, self._resume, None)
+            # Timeout(0) -- the cooperative-yield idiom -- takes the
+            # immediate-queue fast path (same FIFO order, no calendar).
+            delay = command.delay_ns
+            if delay:
+                self._pending_handle = self.kernel.schedule(delay, self._resume, None)
+            else:
+                self._pending_handle = self.kernel.call_soon(self._resume, None)
         elif isinstance(command, WaitEvent):
             command.event.add_waiter(self._resume)
         else:

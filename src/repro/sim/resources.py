@@ -16,8 +16,11 @@ return without suspending, while the slow path blocks on an internal
 No-contention fast path: an uncontended ``Channel.put``/``get`` (item
 available, nobody blocked) completes synchronously -- no Event object is
 allocated and nothing is rescheduled through the kernel.  Contended
-wakeups ride :meth:`Kernel.call_soon`, which skips the scheduling heap
-while preserving FIFO order with ordinary zero-delay events.
+wakeups ride :meth:`Kernel.call_soon`, which skips the scheduling
+calendar while preserving FIFO order with ordinary zero-delay events.
+Deadline receives park their timers in the kernel's timer wheel
+(:meth:`Kernel.schedule_timer`), so the usual cancel-on-delivery never
+leaves a tombstone behind.
 """
 
 from __future__ import annotations
@@ -206,7 +209,10 @@ class Channel:
         delivery, the getter is unregistered on expiry -- so repeated
         deadline receives leak neither timers (``Kernel.pending()``
         returns to baseline) nor ghost getters (FIFO wakeup order is
-        preserved for later arrivals).
+        preserved for later arrivals).  Because delivery usually wins,
+        the deadline rides the kernel's timer wheel
+        (:meth:`Kernel.schedule_timer`): a cancelled deadline never
+        becomes a calendar tombstone.
         """
         if timeout_ns < 0:
             raise SimulationError(f"negative deadline: {timeout_ns}")
@@ -219,7 +225,7 @@ class Channel:
             return True, item
         ev = Event(self.kernel, name=f"{self.name}.get")
         self._getters.append(ev)
-        timer = self.kernel.schedule(timeout_ns, self._expire_getter, ev)
+        timer = self.kernel.schedule_timer(timeout_ns, self._expire_getter, ev)
         item = yield WaitEvent(ev)
         if item is _DEADLINE:
             return False, None

@@ -1,0 +1,67 @@
+"""Tests for the bench harness satellites: the perf-regression gate
+and the multiprocess decode sharding.
+
+The gate is tested against synthetic baselines with the kernel benches
+stubbed out (the real benches are minutes-scale); the shard worker is
+exercised directly to pin its contract -- regenerate-from-seed framing,
+per-shard correctness gate, block accounting that the merge step sums.
+"""
+
+import json
+
+import repro.bench as bench
+
+
+def _fake_results(schedule_run_ns, tracer_emit_ns):
+    return {
+        "benches": {
+            "schedule_run": {"ns_per_event": schedule_run_ns},
+            "tracer_emit": {"ns_per_emit": tracer_emit_ns},
+        }
+    }
+
+
+def _write_baseline(tmp_path):
+    path = tmp_path / "BENCH_kernel.json"
+    path.write_text(json.dumps(_fake_results(100.0, 200.0)))
+    return str(path)
+
+
+def test_check_passes_within_tolerance(tmp_path, monkeypatch, capsys):
+    path = _write_baseline(tmp_path)
+    # +24% on one figure, improvement on the other: both inside the gate
+    monkeypatch.setattr(bench, "bench_kernel", lambda quick: _fake_results(124.0, 150.0))
+    assert bench.check_regressions(quick=True, baseline_path=path)
+    out = capsys.readouterr().out
+    assert "check schedule_run" in out
+    assert "REGRESSION" not in out
+
+
+def test_check_fails_past_tolerance(tmp_path, monkeypatch, capsys):
+    path = _write_baseline(tmp_path)
+    # tracer_emit 30% over baseline must trip the 25% gate
+    monkeypatch.setattr(bench, "bench_kernel", lambda quick: _fake_results(100.0, 260.0))
+    assert not bench.check_regressions(quick=True, baseline_path=path)
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+
+
+def test_round_robin_shards_partition_all_frames():
+    n_frames, n_shards = 8, 3
+    shards = [list(range(s, n_frames, n_shards)) for s in range(n_shards)]
+    seen = sorted(i for shard in shards for i in shard)
+    assert seen == list(range(n_frames))
+
+
+def test_decode_shard_worker_regenerates_and_times_its_slice():
+    result = bench._decode_shard((2, True, [0]))
+    assert set(result) == {"fast", "walk", "encode", "blocks"}
+    assert result["blocks"] > 0
+    assert result["fast"] > 0 and result["walk"] > 0 and result["encode"] > 0
+    # two complementary shards account for every block exactly once
+    other = bench._decode_shard((2, True, [1]))
+    from repro.mjpeg import generate_stream
+
+    stream = generate_stream(2, 96, 96, quality=75, seed=0)
+    total = sum(r.frame.n_blocks for r in stream.records)
+    assert result["blocks"] + other["blocks"] == total

@@ -3,7 +3,7 @@
 The kernel's ordering contract -- fire by (time, scheduling order),
 regardless of which internal queue an event rides -- must survive the
 O(1) ``pending`` counter, the immediate-queue ``call_soon`` fast path,
-heap compaction and handle pooling.
+calendar-queue compaction, the timer wheel and handle pooling.
 """
 
 import random
