@@ -124,19 +124,25 @@ def bench_mjpeg(quick: bool = False, workers: int = 1) -> Dict:
     if workers > 1:
         # Shard frames round-robin across the pool; each worker times
         # its shard and the shard bests sum to the total-work figure.
+        # Split and merge go through repro.sim.shard -- the same
+        # partition/reduce helpers the sharded simulation uses, so bench
+        # sharding and sim sharding share one tested code path.
         import multiprocessing
+
+        from repro.sim.shard import merge_shard_results, round_robin_partition
 
         n_shards = min(workers, len(frames))
         shards = [
-            (n_images, quick, list(range(s, len(frames), n_shards)))
-            for s in range(n_shards)
+            (n_images, quick, indices)
+            for indices in round_robin_partition(len(frames), n_shards)
         ]
         with multiprocessing.Pool(n_shards) as pool:
             results = pool.map(_decode_shard, shards)
-        t_fast = sum(r["fast"] for r in results)
-        t_walk = sum(r["walk"] for r in results)
-        t_encode = sum(r["encode"] for r in results)
-        assert sum(r["blocks"] for r in results) == n_blocks_total
+        merged = merge_shard_results(results, ("fast", "walk", "encode", "blocks"))
+        t_fast = merged["fast"]
+        t_walk = merged["walk"]
+        t_encode = merged["encode"]
+        assert merged["blocks"] == n_blocks_total
     else:
         # Correctness gate: the fast path must match the reference walk
         # bit-for-bit before its timing means anything.
@@ -220,6 +226,132 @@ def bench_mjpeg(quick: bool = False, workers: int = 1) -> Dict:
         },
         "entropy_decode_speedup": t_walk / t_fast,
         "trace_overhead": t_traced / t_untraced,
+    }
+
+
+def _spin(n: int) -> int:
+    """Pure-Python busy loop: the per-event compute of the sim_shards
+    synthetic workload.  Real interpreter work, so per-shard busy time
+    is real CPU time and the critical-path speedup is honest."""
+    x = 0
+    for i in range(n):
+        x += i
+    return x
+
+
+def bench_sim_shards(quick: bool = False) -> Dict:
+    """Scaling bench for the sharded conservative simulation.
+
+    Synthetic workload: 16 chains x 4 stages = 64 components on the raw
+    :mod:`repro.sim.shard` layer.  Stage ``s`` of chain ``c`` lives on
+    shard ``(c + s) % n_shards``, so every chain hop is a cross-shard
+    envelope under real lookahead bounds -- the adversarial layout for
+    conservative synchronization, not the friendly one.
+
+    On a single-CPU host the cooperative driver cannot show wall-clock
+    scaling, so the headline figure is the **critical-path speedup**:
+    serial busy seconds (1 shard) divided by the busiest shard's busy
+    seconds at N shards -- the wall-clock speedup an N-CPU host would
+    approach.  Raw wall time per shard count is reported alongside so
+    the coordination overhead stays visible.
+    """
+    from repro.sim.mailbox import Envelope
+    from repro.sim.shard import Shard, ShardedSimulation, merge_shard_results
+
+    n_chains, n_stages = 16, 4
+    n_items = 8 if quick else 32
+    spin = 400 if quick else 1500
+    reps = 2 if quick else 3
+    link_ns = 100
+    compute_ns = 1_000
+    gap_ns = 500
+
+    def run_once(n_shards: int):
+        shards = [Shard(i) for i in range(n_shards)]
+        sim = ShardedSimulation(shards)
+        shard_of = {
+            (c, s): (c + s) % n_shards
+            for c in range(n_chains)
+            for s in range(n_stages)
+        }
+        for c in range(n_chains):
+            for s in range(n_stages - 1):
+                sim.add_link(shard_of[(c, s)], shard_of[(c, s + 1)], link_ns)
+        for k in range(n_shards):
+            # Self-lookahead: a same-shard hop never lands earlier than
+            # compute + link after its send.
+            sim.add_link(k, k, compute_ns + link_ns)
+        events = [0] * n_shards
+
+        def handler(c: int, s: int, seq: int, t: int) -> None:
+            me = shard_of[(c, s)]
+            _spin(spin)
+            events[me] += 1
+            if s + 1 < n_stages:
+                dst = shard_of[(c, s + 1)]
+                send = t + compute_ns
+                env = Envelope(
+                    send + link_ns, send, f"c{c}", f"s{s}", seq,
+                    lambda: handler(c, s + 1, seq, send + link_ns),
+                )
+                if dst == me:
+                    shards[dst].stage(env)
+                else:
+                    shards[dst].post(env)
+
+        # Source: n_items items enter stage 0 of every chain, spaced by
+        # gap_ns, staged before the run starts.
+        for c in range(n_chains):
+            src = shard_of[(c, 0)]
+            for i in range(n_items):
+                t = (i + 1) * gap_ns
+                shards[src].stage(
+                    Envelope(t, 0, "", f"c{c}", i, lambda c=c, i=i, t=t: handler(c, 0, i, t))
+                )
+
+        t0 = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - t0
+        per_shard = [{"events": events[k], "busy_s": shards[k].busy_s} for k in range(n_shards)]
+        merged = merge_shard_results(per_shard, ("events", "busy_s"))
+        return {
+            "wall_s": wall,
+            "sweeps": sim.sweeps,
+            "events": merged["events"],
+            "busy_s": merged["busy_s"],
+            "max_shard_busy_s": max(p["busy_s"] for p in per_shard),
+        }
+
+    expected_events = n_chains * n_stages * n_items
+    by_shards: Dict[str, Dict] = {}
+    for n_shards in (1, 2, 4):
+        best = None
+        for _ in range(reps):
+            result = run_once(n_shards)
+            if result["events"] != expected_events:
+                raise AssertionError(
+                    f"sim_shards at {n_shards} shards executed {result['events']} "
+                    f"events, expected {expected_events}"
+                )
+            if best is None or result["wall_s"] < best["wall_s"]:
+                best = result
+        by_shards[str(n_shards)] = best
+
+    serial_busy = by_shards["1"]["busy_s"]
+    return {
+        "components": n_chains * n_stages,
+        "chains": n_chains,
+        "stages": n_stages,
+        "items": n_items,
+        "events": expected_events,
+        "reps": reps,
+        "basis": (
+            "critical_path: speedup_N = busy_s(1 shard) / max per-shard "
+            "busy_s(N shards); wall-clock scaling needs >= N CPUs"
+        ),
+        "shards": by_shards,
+        "speedup_2": serial_busy / by_shards["2"]["max_shard_busy_s"],
+        "speedup_4": serial_busy / by_shards["4"]["max_shard_busy_s"],
     }
 
 
@@ -365,6 +497,11 @@ def bench_kernel(quick: bool = False) -> Dict:
         else 0
     )
 
+    # Sharded-simulation scaling (ROADMAP: parallel kernel).  Same event
+    # totals at every shard count or the bench raises -- scaling numbers
+    # for a simulation that diverges would be meaningless.
+    sim_shards = bench_sim_shards(quick)
+
     return {
         "suite": "kernel",
         "workload": {
@@ -413,6 +550,7 @@ def bench_kernel(quick: bool = False) -> Dict:
                 "checkpoints": recovered.recovery.get("checkpoints", 0),
                 "exactly_once": recovered.ok,
             },
+            "sim_shards": sim_shards,
         },
     }
 

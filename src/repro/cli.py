@@ -19,16 +19,22 @@ Commands
     the per-frame decode benches across a process pool; ``--check``
     re-runs the kernel hot paths and fails on a >25% regression versus
     the committed ``BENCH_kernel.json`` instead of writing artifacts.
+``run [--images N] [--shards N] [--parallel]``
+    Run the MJPEG SMP decode and print the sha256 of the decoded frame
+    set.  ``--shards N`` partitions the simulation across N conservative
+    shards (``repro.sim.shard``); the digest is identical for every
+    shard count -- the CI ``shard-smoke`` job diffs them.
 ``faults [--seed S] [--images N] [--drop-rate P] [--crashes K] [--recover]``
     Run a seeded chaos campaign over the MJPEG SMP demo (crashes,
     drops, duplicates under supervision) and print the recovery
     report; exits 1 unless every surviving frame is bit-exact (see
     ``docs/robustness.md``).
-``trace [--images N] [--out PREFIX]``
+``trace [--images N] [--shards N] [--out PREFIX]``
     Run the MJPEG SMP demo with causal tracing, print the critical
     path and the per-hop latency table, and write the columnar trace
     plus a Chrome/Perfetto trace with causal flow arrows (see
-    ``docs/observing.md``).
+    ``docs/observing.md``).  ``--shards N`` traces a sharded run into
+    per-shard buffers and merges them before analysis.
 """
 
 from __future__ import annotations
@@ -154,6 +160,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    """MJPEG SMP decode with a stable frame-set digest on stdout.
+
+    ``--shards 1`` (the default) runs the plain single-kernel
+    ``SmpSimRuntime``; ``--shards N`` for N > 1 runs the same assembly on
+    the sharded conservative simulation.  The final ``frames sha256:``
+    line is the CI contract: it must be identical for every shard count.
+    """
+    from repro.mjpeg import generate_stream
+    from repro.mjpeg.components import build_smp_assembly, frames_digest
+    from repro.runtime import ShardedSmpSimRuntime, SmpSimRuntime
+
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    stream = generate_stream(args.images, 96, 96, quality=75, seed=0)
+    app = build_smp_assembly(stream, use_stored_coefficients=True, keep_frames=True)
+    if args.shards == 1:
+        rt = SmpSimRuntime()
+    else:
+        rt = ShardedSmpSimRuntime(args.shards, parallel=args.parallel)
+    rt.run(app)
+    reports = rt.collect()
+    rt.stop()
+
+    frames = app.components["Reorder"].frames
+    if args.shards > 1:
+        assignment = {
+            name: cont.extra["shard"] for name, cont in rt.containers.items()
+        }
+        by_shard: dict = {}
+        for name, shard in sorted(assignment.items(), key=lambda kv: (kv[1], kv[0])):
+            by_shard.setdefault(shard, []).append(name)
+        for shard, names in by_shard.items():
+            print(f"shard {shard}: {', '.join(names)}")
+        print(f"sweeps: {rt.sim.sweeps}")
+    print(
+        f"shards={args.shards} images={args.images} frames={len(frames)} "
+        f"reports={len(reports)} makespan={rt.makespan_ns / 1e6:.3f} simulated ms"
+    )
+    print(f"frames sha256: {frames_digest(frames)}")
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults import run_chaos_campaign
 
@@ -200,10 +250,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.metrics.analysis import backpressure_report
     from repro.mjpeg import generate_stream
     from repro.mjpeg.components import build_smp_assembly
-    from repro.runtime import SmpSimRuntime
+    from repro.runtime import ShardedSmpSimRuntime, SmpSimRuntime
     from repro.trace import (
         SpanGraph,
+        enable_sharded_tracing,
         enable_tracing,
+        merge_buffers,
         queue_depth_series,
         write_chrome_trace,
         write_columns,
@@ -211,12 +263,29 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     stream = generate_stream(args.images, 96, 96, quality=75, seed=0)
     app = build_smp_assembly(stream, use_stored_coefficients=True)
-    rt = SmpSimRuntime()
-    rt.deploy(app)
-    buffer = enable_tracing(rt)
-    rt.start()
-    rt.wait()
-    rt.stop()
+    if args.shards > 1:
+        # Sharded run: one trace buffer per shard, merged afterwards on
+        # the (timestamp, shard, sequence) key -- see docs/observing.md,
+        # "Merging multi-shard traces".
+        rt = ShardedSmpSimRuntime(args.shards)
+        rt.deploy(app)
+        shard_buffers = enable_sharded_tracing(rt)
+        rt.start()
+        rt.wait()
+        rt.stop()
+        buffer = merge_buffers(shard_buffers)
+        print(
+            f"merged {len(shard_buffers)} shard buffers "
+            f"({', '.join(str(len(b)) for b in shard_buffers)} events) "
+            f"over {rt.sim.sweeps} sweeps"
+        )
+    else:
+        rt = SmpSimRuntime()
+        rt.deploy(app)
+        buffer = enable_tracing(rt)
+        rt.start()
+        rt.wait()
+        rt.stop()
 
     graph = SpanGraph.from_trace(buffer)
     items = graph.attribute_items("frame")
@@ -315,6 +384,21 @@ def build_parser() -> argparse.ArgumentParser:
         "versus the committed BENCH_kernel.json (writes nothing)",
     )
 
+    run = sub.add_parser(
+        "run", help="MJPEG SMP decode; prints the frame-set sha256 (CI contract)"
+    )
+    run.add_argument("--images", type=int, default=8, help="stream length")
+    run.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the simulation across N conservative shards "
+        "(1 = plain single-kernel runtime; output is identical for any N)",
+    )
+    run.add_argument(
+        "--parallel", action="store_true",
+        help="execute shard windows on OS threads (same results as the "
+        "cooperative driver; needs --shards > 1)",
+    )
+
     faults = sub.add_parser(
         "faults", help="seeded chaos campaign on the MJPEG SMP demo"
     )
@@ -336,6 +420,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--images", type=int, default=8, help="stream length")
     trace.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="trace a sharded run: one buffer per shard, merged for analysis",
+    )
+    trace.add_argument(
         "--out", default="TRACE_mjpeg", help="output path prefix for trace artifacts"
     )
     return parser
@@ -354,6 +442,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_observe(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "run":
+        return _cmd_run(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "trace":

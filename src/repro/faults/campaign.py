@@ -33,7 +33,7 @@ from repro.core.observation import APPLICATION_LEVEL
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.supervisor import RestartPolicy, Supervisor
-from repro.mjpeg.components import BATCHES_PER_IMAGE, build_smp_assembly
+from repro.mjpeg.components import BATCHES_PER_IMAGE, build_smp_assembly, frames_digest
 from repro.mjpeg.stream import generate_stream
 from repro.recovery import RecoveryManager
 from repro.runtime.simulated import SmpSimRuntime
@@ -145,13 +145,9 @@ def build_campaign_plan(
     return plan
 
 
-def _frames_digest(frames: Dict[int, np.ndarray]) -> str:
-    """Order-independent sha256 over the full decoded frame set."""
-    digest = hashlib.sha256()
-    for index in sorted(frames):
-        digest.update(index.to_bytes(4, "little"))
-        digest.update(frames[index].tobytes())
-    return digest.hexdigest()
+# The canonical frame-set digest lives with the decoder components; the
+# campaign and the sharded-run CI gate must hash identically.
+_frames_digest = frames_digest
 
 
 def _run_reference(stream) -> Dict[int, np.ndarray]:

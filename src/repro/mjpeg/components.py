@@ -51,6 +51,24 @@ TAG_FRAME = "frame"
 TAG_EOS = "eos"
 
 
+def frames_digest(frames: Dict[int, np.ndarray]) -> str:
+    """Order-independent sha256 over a decoded frame set.
+
+    The canonical equality check for decoder output: the chaos campaign
+    compares faulted runs against fault-free references with it, and the
+    sharded-simulation CI gate diffs ``repro run --shards N`` against the
+    single-shard run.  Frames hash in index order regardless of delivery
+    order, so any runtime producing the same pixels gets the same digest.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for index in sorted(frames):
+        digest.update(index.to_bytes(4, "little"))
+        digest.update(frames[index].tobytes())
+    return digest.hexdigest()
+
+
 def _fetch_stage(record, quality: int, use_stored_coefficients: bool) -> np.ndarray:
     """Fetch-stage decode of one frame: real bit walk or stored-coef fast
     path.  Both produce identical coefficients (tested) and are charged

@@ -7,6 +7,9 @@ Three runtimes execute the same, unmodified components:
   implementation, with real wall-clock timestamps.
 - :class:`~repro.runtime.simulated.SmpSimRuntime` -- components as
   pthreads of the simulated Linux system on the 16-core NUMA SMP model.
+- :class:`~repro.runtime.simulated.ShardedSmpSimRuntime` -- the SMP
+  runtime partitioned across N conservative simulation shards
+  (:mod:`repro.sim.shard`); same output for every shard count.
 - :class:`~repro.runtime.simulated.Sti7200SimRuntime` -- components as
   OS21 tasks (one per CPU) with EMBX distributed-object interfaces on the
   STi7200 model.
@@ -20,12 +23,20 @@ platform-specifically, as in the paper).
 
 from repro.runtime.base import Runtime, RuntimeError_
 from repro.runtime.native import NativeRuntime
-from repro.runtime.simulated import SimRuntime, SmpSimRuntime, Sti7200SimRuntime
+from repro.runtime.simulated import (
+    ShardSimContext,
+    ShardedSmpSimRuntime,
+    SimRuntime,
+    SmpSimRuntime,
+    Sti7200SimRuntime,
+)
 
 __all__ = [
     "NativeRuntime",
     "Runtime",
     "RuntimeError_",
+    "ShardSimContext",
+    "ShardedSmpSimRuntime",
     "SimRuntime",
     "SmpSimRuntime",
     "Sti7200SimRuntime",

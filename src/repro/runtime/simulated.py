@@ -43,7 +43,15 @@ from repro.os21.system import DEFAULT_TASK_BYTES, OS21System
 from repro.runtime.base import ComponentContainer, Runtime, RuntimeError_
 from repro.sim.executor import Compute, DONE
 from repro.sim.kernel import Kernel
+from repro.sim.mailbox import Envelope
 from repro.sim.resources import Channel
+from repro.sim.shard import (
+    Shard,
+    ShardedSimulation,
+    partition_graph,
+    shard_core_blocks,
+    shard_span_source,
+)
 
 #: Cost charged (per op) for the runtime-owned observation channel.
 OBS_CHANNEL_SYSCALLS = 1
@@ -117,6 +125,37 @@ class SimContext(ComponentContext):
     def log(self, text: str) -> None:
         """Record a debug line in the runtime's log buffer."""
         self.runtime.logs.append((self.runtime.kernel.now, self.component.name, text))
+
+
+class ShardSimContext(SimContext):
+    """A component context bound to one shard's clock and span range.
+
+    ``now_ns`` reads the *shard's* kernel (shards tick independently
+    between synchronization points) and span/cause ids come from the
+    shard's private range (shard index in the high bits; see
+    :func:`repro.sim.shard.shard_span_source`), so merged traces never
+    collide."""
+
+    def __init__(
+        self,
+        component: Component,
+        probe: Optional[ObservationProbe],
+        runtime: "SimRuntime",
+        shard_kernel: Kernel,
+        span_source,
+        clock_offset_ns: int = 0,
+    ) -> None:
+        super().__init__(component, probe, runtime, clock_offset_ns)
+        self._shard_kernel = shard_kernel
+        self._span_source = span_source
+
+    def now_ns(self) -> int:
+        """Current time of the owning shard in nanoseconds."""
+        return self._shard_kernel.now + self.clock_offset_ns
+
+    def log(self, text: str) -> None:
+        """Record a debug line stamped with the shard's clock."""
+        self.runtime.logs.append((self._shard_kernel.now, self.component.name, text))
 
 
 class SimRuntime(Runtime):
@@ -196,14 +235,31 @@ class SimRuntime(Runtime):
     def deploy(self, app: Application) -> None:
         """Bind interfaces, build contexts and adapters."""
         self._register(app)
+        self._prepare_deploy()
         for cont in self.containers.values():
             self._bind_component(cont)
         for cont in self.containers.values():
             offset = self._clock_offset_for(cont)
-            cont.context = SimContext(cont.component, cont.probe, self, offset)
-            cont.service_context = SimContext(cont.component, None, self, offset)
+            cont.context = self._make_context(cont, cont.probe, offset)
+            cont.service_context = self._make_context(cont, None, offset)
             cont.probe.os_adapter = self._os_adapter(cont)
             cont.probe.middleware_adapter = self._mw_adapter(cont)
+        self._finish_deploy()
+
+    def _prepare_deploy(self) -> None:
+        """Hook before interface binding (the sharded runtime partitions
+        the component graph here)."""
+
+    def _finish_deploy(self) -> None:
+        """Hook after contexts exist (the sharded runtime derives its
+        per-link lookaheads from the bound graph here)."""
+
+    def _make_context(
+        self, cont: ComponentContainer, probe: Optional[ObservationProbe], offset: int
+    ) -> SimContext:
+        """Build one component/service context (sharded runtimes swap in
+        per-shard clocks and span-id ranges)."""
+        return SimContext(cont.component, probe, self, offset)
 
     def start(self) -> None:
         """Launch every component's behaviour and observation service."""
@@ -229,8 +285,8 @@ class SimRuntime(Runtime):
     def _deploy_dynamic(self, cont: ComponentContainer) -> None:
         self._bind_component(cont)
         offset = self._clock_offset_for(cont)
-        cont.context = SimContext(cont.component, cont.probe, self, offset)
-        cont.service_context = SimContext(cont.component, None, self, offset)
+        cont.context = self._make_context(cont, cont.probe, offset)
+        cont.service_context = self._make_context(cont, None, offset)
         cont.probe.os_adapter = self._os_adapter(cont)
         cont.probe.middleware_adapter = self._mw_adapter(cont)
 
@@ -398,9 +454,15 @@ class SmpSimRuntime(SimRuntime):
     ) -> None:
         super().__init__(kernel)
         self.platform = platform or make_smp16()
-        self.system = LinuxSystem(self.kernel, self.platform, quantum_ns=quantum_ns)
-        self.process = self.system.spawn_process("embera")
+        self.quantum_ns = quantum_ns
+        self._init_system()
         self._next_core = 0
+
+    def _init_system(self) -> None:
+        """Build the OS instance(s); the sharded variant builds one per
+        partition over a core block instead."""
+        self.system = LinuxSystem(self.kernel, self.platform, quantum_ns=self.quantum_ns)
+        self.process = self.system.spawn_process("embera")
 
     def _engine(self):
         return self.system.engine
@@ -522,6 +584,328 @@ class SmpSimRuntime(SimRuntime):
             return data
 
         return report
+
+
+class ShardedSmpSimRuntime(SmpSimRuntime):
+    """The SMP runtime partitioned across N conservative shards.
+
+    Deploy-time graph partitioning (user affinity via ``comp.place(
+    shard=K)`` / ``comp.place(core=N)``, otherwise a greedy balanced
+    min-cut heuristic) maps each component to one shard; each shard owns
+    a contiguous block of the platform's cores, a private
+    :class:`~repro.sim.kernel.Kernel` and its own
+    :class:`~repro.oslinux.system.LinuxSystem` instance.  Every message
+    delivery -- data, deposit and observation alike -- is staged as an
+    :class:`~repro.sim.mailbox.Envelope` and takes the platform's link
+    latency between the endpoint cores; that same latency is the
+    conservative lookahead the coordinator synchronizes on, so the
+    simulation output is *identical for every shard count* (the link
+    latency is a property of hardware placement, not of the partition).
+
+    Not supported in sharded mode (use :class:`SmpSimRuntime`): dynamic
+    reconfiguration (``add_component``/``connect_live``/``rebind``) and
+    fault-replay/recovery -- both would have to mutate channels across
+    shard boundaries mid-run.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        platform: Optional[Platform] = None,
+        quantum_ns: int = 4_000_000,
+        partition: Optional[Dict[str, int]] = None,
+        parallel: bool = False,
+    ) -> None:
+        """``partition`` pins component names to shard indices (wins over
+        the heuristic); ``parallel`` runs each synchronization window on
+        one OS thread per shard instead of cooperatively."""
+        if n_shards < 1:
+            raise RuntimeError_(f"need at least one shard, got {n_shards}")
+        self.n_shards = int(n_shards)
+        self.partition_hint = dict(partition or {})
+        self.parallel = parallel
+        super().__init__(platform=platform, quantum_ns=quantum_ns)
+
+    def _init_system(self) -> None:
+        self._blocks = shard_core_blocks(self.platform.n_cores, self.n_shards)
+        self.shards: List[Shard] = []
+        self.systems: List[LinuxSystem] = []
+        self.processes = []
+        for i, cores in enumerate(self._blocks):
+            shard = Shard(i)
+            system = LinuxSystem(
+                shard.kernel, self.platform, quantum_ns=self.quantum_ns, cores=cores
+            )
+            self.shards.append(shard)
+            self.systems.append(system)
+            self.processes.append(system.spawn_process(f"embera{i}"))
+        self.sim = ShardedSimulation(self.shards)
+        self._span_sources = [shard_span_source(i) for i in range(self.n_shards)]
+        self._routes: Dict[Any, Tuple[int, int]] = {}  # provided iface -> (shard, core)
+        # Base-class bookkeeping (allocation timestamps, heap regions)
+        # rides shard 0; everything delivery- or clock-sensitive is
+        # routed per shard below.
+        self.kernel = self.shards[0].kernel
+        self.system = self.systems[0]
+        self.process = self.processes[0]
+
+    def _engine(self):
+        return self.systems[0].engine
+
+    def shard_of(self, component_name: str) -> int:
+        """The shard a deployed component was partitioned onto."""
+        return self.container(component_name).extra["shard"]
+
+    # -- partitioning ----------------------------------------------------------
+
+    def _shard_of_core(self, core: int) -> int:
+        for i, block in enumerate(self._blocks):
+            if core in block:
+                return i
+        raise RuntimeError_(f"no core {core} on {self.platform.name}")
+
+    def _prepare_deploy(self) -> None:
+        """Partition the sealed graph and place components on cores."""
+        names = list(self.containers)
+        edges = []
+        for cont in self.containers.values():
+            for req in cont.component.required.values():
+                if req.target is not None:
+                    edges.append((cont.component.name, req.target.component.name))
+        affinity = dict(self.partition_hint)
+        for name, cont in self.containers.items():
+            placement = cont.component.placement
+            if "shard" in placement:
+                affinity[name] = placement["shard"]
+            elif "core" in placement and name not in affinity:
+                affinity[name] = self._shard_of_core(placement["core"])
+        assignment = partition_graph(names, edges, self.n_shards, affinity=affinity)
+        self._edges = edges
+        next_slot = [0] * self.n_shards
+        for name in names:
+            cont = self.containers[name]
+            shard = assignment[name]
+            block = self._blocks[shard]
+            core = cont.component.placement.get("core")
+            if core is None:
+                core = block[next_slot[shard] % len(block)]
+                next_slot[shard] += 1
+            elif core not in block:
+                raise RuntimeError_(
+                    f"{name!r} pinned to core {core}, outside shard {shard}'s "
+                    f"cores {block}"
+                )
+            cont.extra["shard"] = shard
+            cont.extra["core"] = core
+            cont.extra["node"] = self.platform.node_of_core(core)
+
+    def _finish_deploy(self) -> None:
+        """Derive routes and per-link lookaheads from the bound graph."""
+        for cont in self.containers.values():
+            dst_shard = cont.extra["shard"]
+            dst_core = cont.extra["core"]
+            # Deposits re-enter a component's own mailbox through the
+            # same staged path, so every shard always has a self-link.
+            self.sim.add_link(
+                dst_shard, dst_shard, self.platform.link_latency_ns(dst_core, dst_core)
+            )
+            for prov in cont.component.provided.values():
+                self._routes[prov] = (dst_shard, dst_core)
+                for req in prov.connected_from:
+                    src_cont = self.containers[req.component.name]
+                    self.sim.add_link(
+                        src_cont.extra["shard"],
+                        dst_shard,
+                        self.platform.link_latency_ns(src_cont.extra["core"], dst_core),
+                    )
+
+    # -- per-shard deployment --------------------------------------------------
+
+    def _assign_core(self, cont: ComponentContainer) -> int:
+        return cont.extra["core"]  # placed during _prepare_deploy
+
+    def _bind_observation_channels(self, cont: ComponentContainer) -> None:
+        shard = self.shards[cont.extra["shard"]]
+        for prov in cont.component.provided.values():
+            if prov.is_observation and prov.binding is None:
+                prov.binding = Channel(shard.kernel, name=f"obs.{prov.qualified_name}")
+
+    def _bind_component(self, cont: ComponentContainer) -> None:
+        self._bind_observation_channels(cont)
+        shard = self.shards[cont.extra["shard"]]
+        process = self.processes[shard.index]
+        node = cont.extra["node"]
+        for prov in cont.component.provided.values():
+            if prov.is_observation:
+                continue
+            process.malloc(
+                prov.mailbox_bytes, label=f"{prov.qualified_name}:mailbox", node=node
+            )
+            prov.binding = SimMailbox(
+                Channel(shard.kernel, name=f"mbox.{prov.qualified_name}"),
+                node=node,
+                capacity_bytes=prov.mailbox_bytes,
+                base_addr=self._next_fake_addr(prov.mailbox_bytes),
+            )
+
+    def _make_context(
+        self, cont: ComponentContainer, probe: Optional[ObservationProbe], offset: int
+    ) -> SimContext:
+        shard_idx = cont.extra["shard"]
+        return ShardSimContext(
+            cont.component,
+            probe,
+            self,
+            self.shards[shard_idx].kernel,
+            self._span_sources[shard_idx],
+            offset,
+        )
+
+    def _spawn_behavior(self, cont: ComponentContainer) -> None:
+        shard_idx = cont.extra["shard"]
+        stack = cont.component.placement.get("stack_bytes", DEFAULT_STACK_BYTES)
+        thread = self.processes[shard_idx].pthread_create(
+            self._wrap_behavior(cont),
+            name=cont.component.name,
+            stack_bytes=stack,
+            affinity=[cont.extra["core"]],
+        )
+        cont.handle = thread.sched
+        cont.extra["pthread"] = thread
+
+    def _spawn_flow(self, body: Generator, name: str, cont: ComponentContainer):
+        return self.systems[cont.extra["shard"]].engine.spawn(body, name=name)
+
+    # -- staged transport ------------------------------------------------------
+
+    def _transfer(self, src: Component, target, message: Message) -> Generator:
+        dst_shard_idx, dst_core = self._routes[target]
+        src_cont = self.containers[src.name]
+        src_shard = self.shards[src_cont.extra["shard"]]
+        src_core = src_cont.extra["core"]
+        if target.is_observation:
+            yield Compute("syscall", OBS_CHANNEL_SYSCALLS)
+            binding = target.binding
+
+            def deliver(binding=binding, message=message):
+                binding.put(message)
+
+        else:
+            mailbox: SimMailbox = target.binding
+            factor = self.platform.copy_factor(src_core, mailbox.node)
+            yield Compute("syscall", 1)
+            yield Compute("memcpy_byte", message.size_bytes * factor)
+            cache = self.platform.cache_of_core(src_core)
+            if cache is not None:
+                offset = mailbox.written_bytes % max(mailbox.capacity_bytes, 1)
+                cache.access_range(mailbox.base_addr + offset, message.size_bytes)
+
+            def deliver(mailbox=mailbox, message=message):
+                mailbox.written_bytes += message.size_bytes
+                mailbox.channel.put(message)
+
+        send_time = src_shard.kernel.now
+        recv_time = send_time + self.platform.link_latency_ns(src_core, dst_core)
+        envelope = Envelope(
+            recv_time, send_time, message.src, message.src_interface, message.seq, deliver
+        )
+        dst_shard = self.shards[dst_shard_idx]
+        if dst_shard is src_shard:
+            dst_shard.stage(envelope)
+        else:
+            dst_shard.post(envelope)
+
+    def _transfer_observation(self, target, message: Message) -> Generator:
+        # Observation messages carry src/iface/seq like any other and the
+        # observer may live on a different shard, so they ride the same
+        # staged path; _transfer branches on target.is_observation.
+        raise RuntimeError_("sharded observation transfers route through _transfer")
+
+    def _requeue(self, provided, message: Message) -> None:
+        raise RuntimeError_(
+            "fault replay/recovery is not supported in sharded simulation; "
+            "use SmpSimRuntime"
+        )
+
+    # -- dynamic reconfiguration is unsupported across shards ------------------
+
+    def _deploy_dynamic(self, cont: ComponentContainer) -> None:
+        raise RuntimeError_(
+            "dynamic reconfiguration is not supported in sharded simulation; "
+            "use SmpSimRuntime"
+        )
+
+    def rebind(self, *args, **kwargs):
+        """Unsupported in sharded mode (channels are shard-bound)."""
+        raise RuntimeError_(
+            "rebind is not supported in sharded simulation; use SmpSimRuntime"
+        )
+
+    def connect_live(self, *args, **kwargs):
+        """Unsupported in sharded mode (lookaheads are sealed at deploy)."""
+        raise RuntimeError_(
+            "connect_live is not supported in sharded simulation; use SmpSimRuntime"
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _run_sim(self) -> None:
+        if self.parallel:
+            self.sim.run_parallel()
+        else:
+            self.sim.run()
+
+    def wait(self) -> None:
+        """Run all shards to completion under conservative sync."""
+        self._run_sim()
+        self.makespan_ns = max(s.kernel.now for s in self.shards)
+        stuck = [
+            cont.component.name
+            for cont in self.containers.values()
+            if cont.handle is not None and cont.handle.state != DONE
+        ]
+        if stuck:
+            states = {name: self.containers[name].handle.state for name in stuck}
+            raise RuntimeError_(f"components did not finish: {states}")
+
+    def collect(
+        self, plan: Optional[Iterable[Tuple[str, str]]] = None
+    ) -> Dict[Tuple[str, str], Dict[str, Any]]:
+        """Run the observer's query flow across shards; returns reports."""
+        if self.app is None or self.app.observer is None:
+            raise RuntimeError_("no observer attached to the application")
+        observer = self.app.observer
+        cont = self.container(observer.name)
+        plan = list(plan) if plan is not None else self._default_plan()
+        flow = observer.collect(cont.context, plan)
+        handle = self._spawn_flow(flow, name=f"{observer.name}.query", cont=cont)
+        self._run_sim()
+        if handle.state != DONE:
+            raise RuntimeError_(f"observer query flow stuck in state {handle.state}")
+        return handle.result
+
+    def stop(self) -> None:
+        """Shut down observation services on every shard.
+
+        The shutdown control message is *staged* at each service's local
+        ``now + 1`` rather than put directly -- host-side puts into a
+        shard-owned channel would bypass the deterministic delivery
+        order."""
+        for i, cont in enumerate(self.containers.values()):
+            if cont.service_handle is not None and cont.service_handle.alive:
+                obs = cont.component.provided.get("introspection")
+                if obs is not None and isinstance(obs.binding, Channel):
+                    shard = self.shards[cont.extra["shard"]]
+                    now = shard.kernel.now
+                    message = Message(payload=None, kind=CONTROL, tag="shutdown")
+
+                    def deliver(binding=obs.binding, message=message):
+                        binding.put(message)
+
+                    shard.stage(Envelope(now + 1, now, "", "runtime.shutdown", i, deliver))
+        for system in self.systems:
+            system.shutdown()
+        self._run_sim()
 
 
 class Sti7200SimRuntime(SimRuntime):

@@ -18,16 +18,38 @@ from repro.sim.clock import MICROSECOND, MILLISECOND, NANOSECOND, SECOND, ns_to_
 from repro.sim.errors import SimulationError, DeadlockError, ProcessKilled
 from repro.sim.events import Event
 from repro.sim.kernel import Kernel
+from repro.sim.mailbox import Envelope, Mailbox, Staging
 from repro.sim.process import Command, Process, Timeout, WaitEvent
 from repro.sim.resources import Channel, Mutex, Semaphore
 from repro.sim.rng import RngRegistry
+from repro.sim.shard import (
+    Shard,
+    ShardedSimulation,
+    merge_shard_results,
+    partition_graph,
+    round_robin_partition,
+    shard_core_blocks,
+    shard_span_source,
+    span_shard,
+)
 
 __all__ = [
     "Channel",
     "Command",
     "DeadlockError",
+    "Envelope",
     "Event",
     "Kernel",
+    "Mailbox",
+    "Shard",
+    "ShardedSimulation",
+    "Staging",
+    "merge_shard_results",
+    "partition_graph",
+    "round_robin_partition",
+    "shard_core_blocks",
+    "shard_span_source",
+    "span_shard",
     "MICROSECOND",
     "MILLISECOND",
     "Mutex",

@@ -217,10 +217,25 @@ class SchedPolicy(Protocol):
 class ExecEngine:
     """Drives threads over a set of cores under a scheduling policy."""
 
-    def __init__(self, kernel: Kernel, core_models: Sequence[Any], policy: SchedPolicy) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        core_models: Sequence[Any],
+        policy: SchedPolicy,
+        core_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        """``core_indices`` gives the cores platform-global indices when
+        the engine hosts only a subset of a machine (a simulation shard);
+        affinity masks keep using global core numbers either way."""
+        if core_indices is not None and len(core_indices) != len(core_models):
+            raise SimulationError(
+                f"core_indices ({len(core_indices)}) and core_models "
+                f"({len(core_models)}) lengths differ"
+            )
         self.kernel = kernel
         self.policy = policy
-        self.cores = [CpuCore(self, i, model) for i, model in enumerate(core_models)]
+        indices = range(len(core_models)) if core_indices is None else core_indices
+        self.cores = [CpuCore(self, i, model) for i, model in zip(indices, core_models)]
         self.threads: list[SchedThread] = []
         self.alive_threads = 0
         self.on_context_switch: Optional[Callable[[CpuCore, Optional[SchedThread], Optional[SchedThread]], None]] = None

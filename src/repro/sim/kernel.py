@@ -149,6 +149,16 @@ class Kernel:
         self._imm: deque[EventHandle] = deque()  # same-instant FIFO fast path
         self._live_processes: int = 0  # maintained by Process
         self.events_executed: int = 0
+        #: Consulted by ``run()`` when the queue drains with processes
+        #: still alive: a zero-arg callable returning True when it
+        #: injected new work (e.g. drained an inter-shard mailbox), in
+        #: which case the loop continues instead of raising
+        #: :class:`DeadlockError`.
+        self.on_idle: Optional[Callable[[], bool]] = None
+        #: Per-shard kernels disable local deadlock detection: an idle
+        #: shard with pending cross-shard input is not deadlocked, so the
+        #: check belongs to the coordinator (after draining mailboxes).
+        self.deadlock_check: bool = True
         self._alive: int = 0  # scheduled, not cancelled, not yet fired
         self._n_cancelled: int = 0  # cancelled entries still stored in the calendar
         self._pool: list[EventHandle] = []
@@ -400,6 +410,11 @@ class Kernel:
                 append(e)
         self._ready = live_ready
         self._ready_pos = 0
+        # Re-derive the due-run pressure threshold from the compacted
+        # population: a purge that dropped most of a bloated run must not
+        # leave the old (doubled-up) threshold behind, or the next burst
+        # of inserts would defer the rebuild it needs.
+        self._ready_cap = max(512, len(live_ready) << 1)
         buckets = self._buckets
         bucket_count = 0
         for i, b in enumerate(buckets):
@@ -754,7 +769,9 @@ class Kernel:
                 break
             t, src = select()
             if src is None:
-                if self._live_processes > 0:
+                if self.on_idle is not None and self.on_idle():
+                    continue  # the hook injected new work (mailbox drain)
+                if self._live_processes > 0 and self.deadlock_check:
                     raise DeadlockError(
                         f"no pending events but {self._live_processes} process(es) still alive"
                     )

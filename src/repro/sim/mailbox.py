@@ -1,0 +1,153 @@
+"""Inter-shard mailboxes and the deterministic delivery staging area.
+
+The sharded simulator (:mod:`repro.sim.shard`) splits one logical
+machine across several :class:`~repro.sim.kernel.Kernel` instances.  A
+message crossing (or, in sharded mode, even staying inside) a partition
+cannot be ``Channel.put`` directly: channels are kernel-bound, and the
+arrival *order* of concurrent sends would depend on which shard happened
+to run first.  Instead every delivery is an :class:`Envelope` with a
+totally ordered key
+
+    ``(recv_time, send_time, src_component, src_interface, send_seq)``
+
+where ``send_seq`` is the sender context's own per-message counter.  All
+key fields are properties of the *logical* send, none of the shard
+layout, so sorting envelopes by key reproduces one canonical per-channel
+put order for every shard count -- the heart of the shard-invariance
+oracle.
+
+Two containers move envelopes:
+
+- :class:`Mailbox` -- the cross-shard handoff: a lock-protected FIFO the
+  *sending* shard posts into and the *receiving* shard drains at
+  synchronization points.  This is the only structure touched by two
+  shards.
+- :class:`Staging` -- the receiving shard's private priority queue of
+  undelivered envelopes, ordered by key.  Envelopes are released into
+  the shard kernel in key order, batch-wise below a conservative time
+  horizon (see ``Shard.run_until``), which pins equal-``recv_time``
+  deliveries to key order no matter when they arrived.
+"""
+
+from __future__ import annotations
+
+import threading
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Key fields, in comparison order (see module docstring).
+KEY_FIELDS = ("recv_time", "send_time", "src", "src_interface", "seq")
+
+
+class Envelope:
+    """One staged delivery: an ordering key plus the delivery action.
+
+    ``deliver`` is a zero-arg callable executed *on the receiving
+    shard's kernel* at ``recv_time`` (typically a bound ``Channel.put``).
+    Comparison is by key only -- keys are unique per logical message
+    (each sender context numbers its sends), so heaps of envelopes never
+    fall back to comparing callables.
+    """
+
+    __slots__ = ("recv_time", "send_time", "src", "src_interface", "seq", "deliver")
+
+    def __init__(
+        self,
+        recv_time: int,
+        send_time: int,
+        src: str,
+        src_interface: str,
+        seq: int,
+        deliver: Callable[[], None],
+    ) -> None:
+        if recv_time < send_time:
+            raise ValueError(
+                f"recv_time {recv_time} precedes send_time {send_time} "
+                f"(negative link latency?)"
+            )
+        self.recv_time = recv_time
+        self.send_time = send_time
+        self.src = src
+        self.src_interface = src_interface
+        self.seq = seq
+        self.deliver = deliver
+
+    @property
+    def key(self) -> Tuple[int, int, str, str, int]:
+        """The total-order key (shard-layout independent)."""
+        return (self.recv_time, self.send_time, self.src, self.src_interface, self.seq)
+
+    def __lt__(self, other: "Envelope") -> bool:
+        return self.key < other.key
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Envelope recv={self.recv_time} send={self.send_time} "
+            f"src={self.src}.{self.src_interface}#{self.seq}>"
+        )
+
+
+class Mailbox:
+    """Thread-safe FIFO of envelopes posted by other shards.
+
+    The parallel (window-barrier) driver has sender shards posting while
+    the receiver runs, so ``post``/``drain`` take a lock; the cooperative
+    driver pays the same (uncontended) lock for one code path.  Order of
+    the FIFO itself is irrelevant -- envelopes are re-ordered by key in
+    the receiver's :class:`Staging`.
+    """
+
+    def __init__(self) -> None:
+        self._items: List[Envelope] = []
+        self._lock = threading.Lock()
+
+    def post(self, envelope: Envelope) -> None:
+        """Enqueue an envelope (called from the *sending* shard)."""
+        with self._lock:
+            self._items.append(envelope)
+
+    def drain(self) -> List[Envelope]:
+        """Remove and return all pending envelopes (receiving shard)."""
+        with self._lock:
+            items, self._items = self._items, []
+        return items
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class Staging:
+    """A shard-private min-heap of envelopes ordered by delivery key."""
+
+    def __init__(self) -> None:
+        self._heap: List[Envelope] = []
+        self.released = 0
+
+    def push(self, envelope: Envelope) -> None:
+        """Stage one envelope for later release."""
+        heappush(self._heap, envelope)
+
+    def min_recv_time(self) -> Optional[int]:
+        """Earliest staged ``recv_time``, or None when empty."""
+        return self._heap[0].recv_time if self._heap else None
+
+    def release_below(self, horizon: int, schedule: Callable[[int, Any], Any]) -> int:
+        """Release every envelope with ``recv_time < horizon`` into the
+        kernel via ``schedule(recv_time, deliver)``, in key order.
+
+        Key-order release below a *conservative* horizon (no
+        later-staged envelope can undercut it) is what makes equal-time
+        deliveries land in the same canonical order for every shard
+        count."""
+        heap = self._heap
+        n = 0
+        while heap and heap[0].recv_time < horizon:
+            env = heappop(heap)
+            schedule(env.recv_time, env.deliver)
+            n += 1
+        self.released += n
+        return n
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,498 @@
+"""Sharded conservative parallel discrete-event simulation.
+
+One logical machine is partitioned into N *shards*, each owning a
+private :class:`~repro.sim.kernel.Kernel` (clock + calendar queue) and a
+disjoint subset of the component graph.  Shards exchange messages only
+through the envelope layer of :mod:`repro.sim.mailbox` and advance under
+**conservative synchronization** (Chandy/Misra/Bryant family): the
+hardware link latency of every channel is a guaranteed minimum delivery
+delay, so shard *i* may freely execute everything strictly below
+
+    ``bound_i = min over in-neighbor shards j of (eot_j + lookahead(j, i))``
+
+where ``eot_j`` is shard *j*'s earliest possible next activity and
+``lookahead(j, i)`` is the smallest link latency of any channel from *j*
+to *i*.  No null messages circulate; a coordinator recomputes the bounds
+each sweep (a time-window barrier), either cooperatively on one OS
+thread (deterministic wall-clock, the default) or with one OS thread per
+shard (:meth:`ShardedSimulation.run_parallel`).
+
+Determinism contract
+--------------------
+The simulation produces the *same per-channel delivery order for every
+shard count*.  Two mechanisms enforce this:
+
+- every delivery is staged as an :class:`~repro.sim.mailbox.Envelope`
+  and released in key order ``(recv_time, send_time, src, iface, seq)``
+  -- all fields properties of the logical send, none of the layout;
+- release happens batch-wise below a horizon no later-staged envelope
+  can undercut (``min(bound, now + self_lookahead)``), so two
+  equal-``recv_time`` envelopes always sit in the same batch and sort
+  canonically, never in shard-arrival order.
+
+Span-id ranges
+--------------
+Merged traces from N shards must never collide on span/cause ids, so
+each shard draws from its own range: shard *k* counts from
+``(k << SHARD_SPAN_BITS) + 1`` (:func:`shard_span_source`), and
+:func:`span_shard` recovers the owning shard from any id.  Shard 0's
+range is identical to the unsharded runtime's, keeping single-shard
+traces bit-compatible.
+"""
+
+from __future__ import annotations
+
+import threading
+from itertools import count
+from time import perf_counter
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sim.errors import DeadlockError, SimulationError
+from repro.sim.kernel import Kernel
+from repro.sim.mailbox import Envelope, Mailbox, Staging
+
+_INF = float("inf")
+
+#: Span/cause ids carry the owning shard in the bits above this position.
+SHARD_SPAN_BITS = 48
+
+
+def shard_span_source(shard_index: int) -> Iterator[int]:
+    """A span-id counter drawing from shard ``shard_index``'s private
+    range -- ids from different shards can never collide in a merged
+    trace.  Shard 0 yields 1, 2, 3, ... exactly like the unsharded
+    runtime."""
+    if shard_index < 0:
+        raise ValueError(f"shard index must be non-negative, got {shard_index}")
+    return count((shard_index << SHARD_SPAN_BITS) + 1)
+
+
+def span_shard(span_id: int) -> int:
+    """The shard that allocated ``span_id`` (0 for unsharded runs)."""
+    return span_id >> SHARD_SPAN_BITS
+
+
+# -- partitioning helpers ------------------------------------------------------
+
+
+def round_robin_partition(n_items: int, n_parts: int) -> List[List[int]]:
+    """Deal item indices round-robin into ``n_parts`` buckets.
+
+    The interleaved split used for embarrassingly parallel fan-out (the
+    bench's per-frame decode sharding): bucket ``s`` gets items
+    ``s, s + n_parts, s + 2*n_parts, ...``."""
+    if n_parts < 1:
+        raise ValueError(f"need at least one part, got {n_parts}")
+    return [list(range(s, n_items, n_parts)) for s in range(n_parts)]
+
+
+def merge_shard_results(results: Iterable[Dict], sum_keys: Sequence[str]) -> Dict:
+    """Merge per-shard result dicts by summing ``sum_keys``.
+
+    The single merge path shared by everything that fans work out over
+    shards -- the multiprocessing decode bench and the ``sim_shards``
+    scaling bench both reduce through here."""
+    merged: Dict = {k: 0 for k in sum_keys}
+    for result in results:
+        for k in sum_keys:
+            merged[k] += result[k]
+    return merged
+
+
+def shard_core_blocks(n_cores: int, n_shards: int) -> List[List[int]]:
+    """Split core indices into ``n_shards`` contiguous blocks.
+
+    Contiguous blocks keep each shard's cores on as few NUMA nodes as
+    possible, so intra-shard link latencies (and thus self-lookahead)
+    stay small."""
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    if n_shards > n_cores:
+        raise ValueError(f"{n_shards} shards need at least {n_shards} cores, have {n_cores}")
+    base, extra = divmod(n_cores, n_shards)
+    blocks: List[List[int]] = []
+    start = 0
+    for k in range(n_shards):
+        size = base + (1 if k < extra else 0)
+        blocks.append(list(range(start, start + size)))
+        start += size
+    return blocks
+
+
+def partition_graph(
+    names: Sequence[str],
+    edges: Iterable[Tuple[str, str]],
+    n_shards: int,
+    affinity: Optional[Dict[str, int]] = None,
+    weights: Optional[Dict[str, float]] = None,
+) -> Dict[str, int]:
+    """Partition a component graph into ``n_shards`` balanced parts.
+
+    Greedy heuristic: order components by BFS over the (undirected)
+    connection graph and fill shards with contiguous BFS runs, so
+    tightly coupled neighborhoods land together and the cut stays small.
+    ``affinity`` pins named components to shards (user-supplied
+    placement wins over the heuristic); ``weights`` biases balance
+    (default: every component weighs 1).  Fully deterministic: ties
+    follow the declaration order of ``names`` and ``edges``.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    names = list(names)
+    if len(set(names)) != len(names):
+        raise ValueError("component names must be unique")
+    affinity = dict(affinity or {})
+    for name, shard in affinity.items():
+        if name not in set(names):
+            raise ValueError(f"affinity names unknown component {name!r}")
+        if not 0 <= shard < n_shards:
+            raise ValueError(f"affinity pins {name!r} to shard {shard}, have {n_shards}")
+    weight = {n: float((weights or {}).get(n, 1.0)) for n in names}
+
+    order_of = {n: i for i, n in enumerate(names)}
+    adjacency: Dict[str, List[str]] = {n: [] for n in names}
+    for a, b in edges:
+        if a not in adjacency or b not in adjacency:
+            raise ValueError(f"edge ({a!r}, {b!r}) references unknown component")
+        if a != b:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+
+    # Deterministic BFS over every connected part, seeds in name order.
+    bfs: List[str] = []
+    seen = set()
+    for seed in names:
+        if seed in seen:
+            continue
+        queue = [seed]
+        seen.add(seed)
+        while queue:
+            node = queue.pop(0)
+            bfs.append(node)
+            for nxt in sorted(set(adjacency[node]), key=order_of.__getitem__):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+
+    assignment = dict(affinity)
+    total = sum(weight.values())
+    pinned_load = [0.0] * n_shards
+    for name, shard in affinity.items():
+        pinned_load[shard] += weight[name]
+
+    target = total / n_shards
+    shard = 0
+    load = pinned_load[0]
+    for name in bfs:
+        if name in assignment:
+            continue
+        while shard < n_shards - 1 and load + weight[name] / 2 >= target:
+            shard += 1
+            load = pinned_load[shard]
+        assignment[name] = shard
+        load += weight[name]
+    return assignment
+
+
+def cut_edges(
+    assignment: Dict[str, int], edges: Iterable[Tuple[str, str]]
+) -> List[Tuple[str, str]]:
+    """The edges crossing shards under ``assignment`` (diagnostics)."""
+    return [(a, b) for a, b in edges if assignment[a] != assignment[b]]
+
+
+# -- the shard -----------------------------------------------------------------
+
+
+class Shard:
+    """One partition: a private kernel plus its staged-delivery state.
+
+    The shard's kernel runs with local deadlock detection disabled -- an
+    idle shard with pending cross-shard input is *not* deadlocked; only
+    the coordinator, after draining every mailbox, may declare deadlock.
+    """
+
+    def __init__(self, index: int, kernel: Optional[Kernel] = None, name: str = "") -> None:
+        if index < 0:
+            raise ValueError(f"shard index must be non-negative, got {index}")
+        self.index = index
+        self.name = name or f"shard{index}"
+        self.kernel = kernel if kernel is not None else Kernel()
+        self.kernel.deadlock_check = False
+        self.inbox = Mailbox()
+        self.staging = Staging()
+        #: Smallest link latency of any channel whose *sender and
+        #: receiver both live on this shard* (inf when none): while the
+        #: shard executes, no new envelope can appear with a receive
+        #: time below ``now + self_lookahead``, which is what makes the
+        #: batch release horizon safe.
+        self.self_lookahead: float = _INF
+        #: Wall-clock seconds spent inside :meth:`run_until` -- the
+        #: per-shard busy time the critical-path speedup metric uses.
+        self.busy_s = 0.0
+        #: Optional hook ``(envelope, cross_shard) -> None`` observing
+        #: every staged delivery (the lookahead property tests record
+        #: envelopes through this).
+        self.on_envelope: Optional[Callable[[Envelope, bool], None]] = None
+
+    # -- delivery intake ------------------------------------------------------
+
+    def stage(self, envelope: Envelope) -> None:
+        """Stage a *same-shard* delivery (called by this shard only)."""
+        if self.on_envelope is not None:
+            self.on_envelope(envelope, False)
+        self.staging.push(envelope)
+
+    def post(self, envelope: Envelope) -> None:
+        """Post a *cross-shard* delivery (called by the sending shard;
+        thread-safe)."""
+        if self.on_envelope is not None:
+            self.on_envelope(envelope, True)
+        self.inbox.post(envelope)
+
+    def drain_inbox(self) -> int:
+        """Move posted envelopes into the staging heap (owner only)."""
+        items = self.inbox.drain()
+        for env in items:
+            self.staging.push(env)
+        return len(items)
+
+    # -- conservative execution ----------------------------------------------
+
+    def eot(self) -> float:
+        """Earliest possible next activity: the first pending kernel
+        event or staged delivery, ``inf`` when fully idle.  Nothing this
+        shard ever sends can reach a neighbor before ``eot() +
+        lookahead``, which is what the coordinator's bounds build on."""
+        t = self.kernel.peek()
+        s = self.staging.min_recv_time()
+        if t is None:
+            return _INF if s is None else s
+        return t if s is None else min(t, s)
+
+    def run_until(self, bound: float) -> None:
+        """Execute all shard-local work strictly below ``bound``.
+
+        Alternates batch release of staged envelopes (in key order,
+        below ``min(bound, now + self_lookahead)`` -- see the module
+        docstring for why that horizon pins the canonical order) with
+        kernel execution up to the earliest un-released envelope, and
+        idle-advances the clock over gaps so later batches unlock.
+        """
+        kernel = self.kernel
+        la = self.self_lookahead
+        t0 = perf_counter()
+        try:
+            while True:
+                horizon = min(bound, kernel.now + la)
+                self.staging.release_below(horizon, kernel.schedule_at)
+                nxt = self.staging.min_recv_time()
+                stop = horizon if nxt is None else min(horizon, nxt)
+                t = kernel.peek()
+                if t is not None and t < stop:
+                    # Events strictly below ``stop``; new same-shard
+                    # envelopes land at >= now + self_lookahead >= stop,
+                    # so none can undercut this execution window.
+                    kernel.run(until=None if stop == _INF else int(stop) - 1)
+                    continue
+                nt = min(
+                    nxt if nxt is not None else _INF,
+                    t if t is not None else _INF,
+                )
+                if nt >= bound:
+                    return
+                if kernel.now >= nt:
+                    raise SimulationError(
+                        f"{self.name}: staged delivery at {nt} not ahead of "
+                        f"clock {kernel.now} -- lookahead violated"
+                    )
+                # Nothing can happen in (now, nt): idle-advance so the
+                # release horizon reaches the next staged envelope.
+                kernel._now = int(nt)
+        finally:
+            self.busy_s += perf_counter() - t0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Shard {self.index} now={self.kernel.now} staged={len(self.staging)}>"
+
+
+# -- the coordinator -----------------------------------------------------------
+
+
+class ShardedSimulation:
+    """Coordinates N shards under conservative lookahead bounds.
+
+    ``add_link(src, dst, latency_ns)`` declares a channel between shards
+    (including ``src == dst`` for intra-shard channels, which feed the
+    shards' self-lookahead); the *minimum* latency per directed shard
+    pair becomes that pair's lookahead.  :meth:`run` then sweeps:
+
+    1. drain every shard's mailbox into its staging heap,
+    2. snapshot ``eot_i`` for every shard; if all are ``inf`` the
+       simulation is over (or deadlocked, if processes are still alive),
+    3. compute ``bound_i = min_j (eot_j + lookahead(j, i))`` over
+       in-neighbors ``j != i``,
+    4. run every shard with ``eot_i < bound_i`` up to its bound.
+
+    The globally earliest shard always satisfies ``eot_i < bound_i``
+    (lookaheads are >= 1 ns), so every sweep makes progress.  Envelopes
+    posted mid-sweep carry receive times >= the pre-sweep ``eot_j +
+    lookahead(j, i) >= bound_i``, so draining them one sweep late can
+    never miss work below any bound already handed out.
+    """
+
+    def __init__(self, shards: Sequence[Shard]) -> None:
+        if not shards:
+            raise ValueError("need at least one shard")
+        for i, shard in enumerate(shards):
+            if shard.index != i:
+                raise ValueError(
+                    f"shard at position {i} has index {shard.index}; "
+                    "pass shards sorted by index"
+                )
+        self.shards = list(shards)
+        self._lookahead: Dict[Tuple[int, int], int] = {}
+        self.sweeps = 0
+
+    def add_link(self, src_shard: int, dst_shard: int, latency_ns: int) -> None:
+        """Declare a channel from ``src_shard`` to ``dst_shard`` with a
+        guaranteed minimum delivery latency (clamped to >= 1 ns)."""
+        n = len(self.shards)
+        if not (0 <= src_shard < n and 0 <= dst_shard < n):
+            raise ValueError(f"link ({src_shard}, {dst_shard}) out of range for {n} shards")
+        latency = max(1, int(latency_ns))
+        key = (src_shard, dst_shard)
+        current = self._lookahead.get(key)
+        if current is None or latency < current:
+            self._lookahead[key] = latency
+        if src_shard == dst_shard:
+            shard = self.shards[src_shard]
+            shard.self_lookahead = min(shard.self_lookahead, latency)
+
+    def lookahead(self, src_shard: int, dst_shard: int) -> Optional[int]:
+        """The conservative bound contribution of a shard pair, if any."""
+        return self._lookahead.get((src_shard, dst_shard))
+
+    def _bounds(self, eots: Sequence[float]) -> List[float]:
+        """Per-shard execution bounds from the EOT *fixed point*.
+
+        A locally idle shard is not unreachable: a third shard can wake
+        it, and it would then send onward.  The earliest instant shard
+        *j* could possibly act is therefore the Chandy/Misra fixed point
+
+            ``E_j = min(local_eot_j, min_k (E_k + lookahead(k, j)))``
+
+        computed by relaxation (terminates: every step lowers some
+        ``E``, floored by the global minimum since lookaheads are
+        >= 1 ns).  Bounds then come from the fixed point, so a shard can
+        never outrun a message routed to it through any chain of
+        currently idle shards."""
+        eots = list(eots)
+        cross = [(s, d, la) for (s, d), la in self._lookahead.items() if s != d]
+        changed = True
+        while changed:
+            changed = False
+            for src, dst, la in cross:
+                if eots[src] + la < eots[dst]:
+                    eots[dst] = eots[src] + la
+                    changed = True
+        bounds = [_INF] * len(self.shards)
+        for src, dst, la in cross:
+            if eots[src] + la < bounds[dst]:
+                bounds[dst] = eots[src] + la
+        return bounds
+
+    def _finished(self, eots: Sequence[float]) -> bool:
+        """All-idle check; raises only after every mailbox is drained,
+        so a shard idling on pending cross-shard input never
+        false-positives as deadlock."""
+        if any(e != _INF for e in eots):
+            return False
+        live = sum(s.kernel._live_processes for s in self.shards)
+        if live:
+            raise DeadlockError(
+                f"all {len(self.shards)} shards idle with mailboxes drained "
+                f"but {live} process(es) still alive"
+            )
+        # Quiescent: align every clock to the global maximum, so work
+        # injected *between* runs (observer queries, shutdown controls)
+        # can never reach a shard in its past.
+        t_max = max(s.kernel.now for s in self.shards)
+        for s in self.shards:
+            if s.kernel.now < t_max:
+                s.kernel._now = t_max
+        return True
+
+    def run(self) -> int:
+        """Cooperative driver: one sweep at a time on the calling thread.
+
+        Fully deterministic and allocation-light -- the default for
+        correctness-sensitive runs.  Returns the number of sweeps."""
+        shards = self.shards
+        while True:
+            for shard in shards:
+                shard.drain_inbox()
+            eots = [s.eot() for s in shards]
+            if self._finished(eots):
+                return self.sweeps
+            bounds = self._bounds(eots)
+            progressed = False
+            for i, shard in enumerate(shards):
+                if eots[i] < bounds[i]:
+                    shard.run_until(bounds[i])
+                    progressed = True
+            if not progressed:
+                raise DeadlockError(
+                    "conservative synchronization stalled: no shard below its bound"
+                )
+            self.sweeps += 1
+
+    def run_parallel(self) -> int:
+        """Window-barrier driver: every runnable shard executes its
+        window on its own OS thread, then all rejoin.
+
+        Bounds come from the same pre-sweep snapshot as :meth:`run` and
+        all deliveries go through the same keyed staging, so results are
+        identical to the cooperative driver -- the threads only overlap
+        the wall-clock execution of one window."""
+        shards = self.shards
+        while True:
+            for shard in shards:
+                shard.drain_inbox()
+            eots = [s.eot() for s in shards]
+            if self._finished(eots):
+                return self.sweeps
+            bounds = self._bounds(eots)
+            runnable = [i for i in range(len(shards)) if eots[i] < bounds[i]]
+            if not runnable:
+                raise DeadlockError(
+                    "conservative synchronization stalled: no shard below its bound"
+                )
+            if len(runnable) == 1:
+                shards[runnable[0]].run_until(bounds[runnable[0]])
+            else:
+                errors: List[Optional[BaseException]] = [None] * len(runnable)
+
+                def window(slot: int, shard: Shard, bound: float) -> None:
+                    try:
+                        shard.run_until(bound)
+                    except BaseException as exc:  # noqa: BLE001 - rejoined below
+                        errors[slot] = exc
+
+                threads = [
+                    threading.Thread(
+                        target=window,
+                        args=(slot, shards[i], bounds[i]),
+                        name=f"{shards[i].name}.window",
+                        daemon=True,
+                    )
+                    for slot, i in enumerate(runnable)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                for exc in errors:
+                    if exc is not None:
+                        raise exc
+            self.sweeps += 1

@@ -15,7 +15,15 @@ matched begin/end intervals and summary statistics.
 """
 
 from repro.trace.events import BEGIN, END, INSTANT, TraceEvent
-from repro.trace.tracer import TraceBuffer, TraceColumns, Tracer, TracingContext, enable_tracing
+from repro.trace.tracer import (
+    TraceBuffer,
+    TraceColumns,
+    Tracer,
+    TracingContext,
+    enable_sharded_tracing,
+    enable_tracing,
+    merge_buffers,
+)
 from repro.trace.writer import read_columns, read_jsonl, write_columns, write_csv, write_jsonl
 from repro.trace.analysis import busy_fraction, intervals, summarize_durations, timeline
 from repro.trace.causal import (
@@ -43,8 +51,10 @@ __all__ = [
     "Tracer",
     "TracingContext",
     "busy_fraction",
+    "enable_sharded_tracing",
     "enable_tracing",
     "hop_summary",
+    "merge_buffers",
     "intervals",
     "queue_depth_series",
     "read_columns",

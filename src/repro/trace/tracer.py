@@ -294,3 +294,62 @@ def enable_tracing(runtime, buffer: Optional[TraceBuffer] = None) -> TraceBuffer
         cont.context = TracingContext(cont.context, tracer)
         cont.extra["tracer"] = tracer
     return buffer
+
+
+def enable_sharded_tracing(runtime) -> List[TraceBuffer]:
+    """Install tracing on a sharded runtime: one buffer per shard.
+
+    A shared buffer would interleave its sequence numbers in sweep
+    execution order -- different for every shard count.  Per-shard
+    buffers keep each shard's trace self-consistent; combine them with
+    :func:`merge_buffers` afterwards.  Span/cause ids inside the events
+    already come from per-shard ranges, so the merged trace has no
+    collisions.  Returns the buffer list, indexed by shard.
+    """
+    buffers = [TraceBuffer() for _ in range(runtime.n_shards)]
+    for cont in runtime.containers.values():
+        if cont.context is None:
+            raise RuntimeError("enable_sharded_tracing requires a deployed application")
+        buffer = buffers[cont.extra["shard"]]
+        tracer = Tracer(buffer, cont.component.name, cont.context.now_ns)
+        cont.context = TracingContext(cont.context, tracer)
+        cont.extra["tracer"] = tracer
+    return buffers
+
+
+def merge_buffers(
+    buffers: List[TraceBuffer],
+    clock_offsets_ns: Optional[List[int]] = None,
+) -> TraceBuffer:
+    """Columnar k-way merge of per-shard trace buffers into one trace.
+
+    Rows are ordered by ``(aligned timestamp, shard index, shard-local
+    seq)`` and re-sequenced globally, so the merged trace satisfies the
+    same ``(timestamp, seq)`` contract as a single-kernel trace and
+    every downstream analysis (span graphs, exporters, gantt) works
+    unchanged.  ``clock_offsets_ns`` aligns shard clocks when they do
+    not share an epoch (one additive offset per buffer, default 0 --
+    simulation shards synchronize to a common virtual time, native
+    shards may not).  Dropped-event counts are carried over.
+    """
+    if clock_offsets_ns is None:
+        offsets = [0] * len(buffers)
+    else:
+        offsets = list(clock_offsets_ns)
+        if len(offsets) != len(buffers):
+            raise ValueError(
+                f"{len(buffers)} buffers but {len(offsets)} clock offsets"
+            )
+    tagged = []
+    dropped = 0
+    for shard, buf in enumerate(buffers):
+        dropped += buf.dropped
+        off = offsets[shard]
+        for row in buf.rows():
+            tagged.append((row[0] + off, shard, row[1], row))
+    tagged.sort(key=lambda entry: entry[:3])
+    merged = TraceBuffer(capacity=max(1, sum(b.capacity for b in buffers)))
+    for ts, _shard, _seq, row in tagged:
+        merged.append((ts, merged.next_seq()) + row[2:])
+    merged.dropped += dropped
+    return merged
