@@ -497,6 +497,77 @@ def bench_kernel(quick: bool = False) -> Dict:
         else 0
     )
 
+    # Durable-recovery scenario (ROADMAP: WAL + on-disk checkpoints):
+    # WAL append throughput and checkpoint-commit / cold-restore latency.
+    # fsync="never" so the figures measure the record format and pickle
+    # path, not the host's disk -- the fsync policies only add I/O waits
+    # on top of exactly this work.
+    import shutil
+    import tempfile
+
+    from repro.recovery.durable import DurableStore
+    from repro.recovery.wal import WriteAheadLog
+
+    n_wal = 2_000 if quick else 20_000
+    n_ckpt = 20 if quick else 100
+    wal_record = {
+        "t": "send",
+        "key": ("Fetch", "fetchIdct1"),
+        "dseq": 1,
+        "uid": 1,
+        "target": ("IDCT_1", "_fetchIdct1"),
+        "msg": {"payload": bytes(2048), "kind": "data", "tag": "batch",
+                "src": "Fetch", "src_interface": "fetchIdct1", "seq": 1,
+                "size_bytes": 2048, "span": 1, "cause": 0, "dseq": 1},
+    }
+    ckpt_state = {"pending": {i: bytes(512) for i in range(8)}, "completed": 0}
+
+    scratch = tempfile.mkdtemp(prefix="repro-bench-durable-")
+    try:
+        wal_bytes = [0]
+
+        def run_wal_append() -> None:
+            path = os.path.join(scratch, "bench.wal")
+            if os.path.exists(path):
+                os.unlink(path)
+            with WriteAheadLog(path, fsync="never") as wal:
+                append = wal.append
+                for _ in range(n_wal):
+                    append(wal_record)
+                wal.sync()
+                wal_bytes[0] = wal.size_bytes()
+
+        t_wal = _best(run_wal_append, reps)
+
+        def make_store(root: str) -> DurableStore:
+            return DurableStore(root, config={"bench": True}, fsync="never")
+
+        def run_ckpt_commit() -> None:
+            root = os.path.join(scratch, "store")
+            shutil.rmtree(root, ignore_errors=True)
+            store = make_store(root).open()
+            for e in range(n_ckpt):
+                ckpt = {"epoch": e, "state": ckpt_state,
+                        "send": {("bench", "out"): e}, "rx": {}}
+                store.commit_checkpoint("bench", ckpt, [])
+            store.close()
+
+        t_commit = _best(run_ckpt_commit, reps)
+        # Cold-restore latency against the store the last commit rep left
+        # behind: manifest + checkpoint load + full WAL scan.
+        restore_root = os.path.join(scratch, "store")
+
+        def run_restore() -> None:
+            store = make_store(restore_root).open()
+            restored = store.restore_state()
+            store.close()
+            if "bench" not in restored.checkpoints:
+                raise AssertionError("cold restore lost the committed checkpoint")
+
+        t_restore = _best(run_restore, reps)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
     # Sharded-simulation scaling (ROADMAP: parallel kernel).  Same event
     # totals at every shard count or the bench raises -- scaling numbers
     # for a simulation that diverges would be meaningless.
@@ -549,6 +620,21 @@ def bench_kernel(quick: bool = False) -> Dict:
                 "deduped": recovered.recovery.get("deduped", 0),
                 "checkpoints": recovered.recovery.get("checkpoints", 0),
                 "exactly_once": recovered.ok,
+            },
+            "wal_append": {
+                "best_s": t_wal,
+                "records": n_wal,
+                "ns_per_append": t_wal / n_wal * 1e9,
+                "mb_per_s": wal_bytes[0] / t_wal / 1e6,
+                "fsync": "never",
+            },
+            "checkpoint_restore": {
+                "commit_best_s": t_commit,
+                "commits": n_ckpt,
+                "us_per_commit": t_commit / n_ckpt * 1e6,
+                "restore_best_s": t_restore,
+                "restore_ms": t_restore * 1e3,
+                "fsync": "never",
             },
             "sim_shards": sim_shards,
         },
@@ -618,7 +704,15 @@ def check_regressions(
 
 
 def run_benches(quick: bool = False, out_dir: str = ".", workers: int = 1) -> List[str]:
-    """Run both suites and write the JSON artifacts; returns the paths."""
+    """Run both suites and write the JSON artifacts; returns the paths.
+
+    Artifacts are published atomically (temp file + ``os.replace``): the
+    committed files double as the ``--check`` perf-gate baseline, and a
+    crash mid-bench must leave the previous baseline intact rather than
+    a half-written one.
+    """
+    from repro.recovery.durable import atomic_write_bytes
+
     meta = _meta(quick)
     paths = []
     for name, payload in (
@@ -627,7 +721,6 @@ def run_benches(quick: bool = False, out_dir: str = ".", workers: int = 1) -> Li
     ):
         payload["meta"] = meta
         path = os.path.join(out_dir, name)
-        with open(path, "w") as fh:
-            json.dump(payload, fh, indent=2)
+        atomic_write_bytes(path, json.dumps(payload, indent=2).encode())
         paths.append(path)
     return paths

@@ -24,11 +24,21 @@ Commands
     set.  ``--shards N`` partitions the simulation across N conservative
     shards (``repro.sim.shard``); the digest is identical for every
     shard count -- the CI ``shard-smoke`` job diffs them.
-``faults [--seed S] [--images N] [--drop-rate P] [--crashes K] [--recover]``
+``faults [--seed S] [--images N] [--drop-rate P] [--crashes K] [--recover]
+[--durable DIR] [--kill9 K]``
     Run a seeded chaos campaign over the MJPEG SMP demo (crashes,
     drops, duplicates under supervision) and print the recovery
     report; exits 1 unless every surviving frame is bit-exact (see
-    ``docs/robustness.md``).
+    ``docs/robustness.md``).  With ``--recover --durable DIR`` the
+    campaign runs in a supervised child OS process whose recovery
+    state lives on disk in ``DIR``, and ``--kill9 K`` schedules K real
+    SIGKILLs of that process mid-decode; the oracle is unchanged (the
+    complete frame set, sha256-identical to the fault-free reference).
+``recover {ls,dump,verify} DIR``
+    Inspect a durable recovery directory: ``ls`` summarizes the
+    manifest, checkpoints, WAL and frames; ``dump`` prints the WAL
+    records; ``verify`` checks the whole binding (manifest <->
+    checkpoint epochs <-> WAL scan) and exits 1 on inconsistency.
 ``trace [--images N] [--shards N] [--out PREFIX]``
     Run the MJPEG SMP demo with causal tracing, print the critical
     path and the per-hop latency table, and write the columnar trace
@@ -205,6 +215,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
+    if args.durable is not None:
+        return _cmd_faults_durable(args)
+    if args.kill9 is not None:
+        print("--kill9 requires --recover --durable DIR (it kills a real process)",
+              file=sys.stderr)
+        return 2
     from repro.faults import run_chaos_campaign
 
     result = run_chaos_campaign(
@@ -243,6 +259,120 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         )
     print(line)
     return 0
+
+
+def _cmd_faults_durable(args: argparse.Namespace) -> int:
+    """The supervised kill-9 variant of the chaos campaign."""
+    from repro.recovery.supervised import run_durable_campaign
+
+    if not args.recover:
+        print("--durable requires --recover (durability layers under the "
+              "recovery manager)", file=sys.stderr)
+        return 2
+    result = run_durable_campaign(
+        seed=args.seed,
+        n_images=args.images,
+        durable_dir=args.durable,
+        drop_rate=args.drop_rate,
+        crashes=args.crashes,
+        kill9s=1 if args.kill9 is None else args.kill9,
+    )
+    print(json.dumps(result.summary(), indent=2))
+    if not result.ok:
+        print(
+            "FAIL: durable campaign lost frames or diverged from the "
+            f"fault-free reference ({result.frames_delivered}/"
+            f"{result.frames_expected} frames)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: {result.frames_delivered}/{result.frames_expected} frames "
+        f"bit-exact after {result.kills} SIGKILL(s) and {result.spawns} "
+        f"spawn(s) of the component process"
+    )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Inspect a durable recovery directory (ls / dump / verify)."""
+    import os
+
+    from repro.recovery.durable import (
+        DurableError, DurableStore, FrameStore, MANIFEST_NAME,
+    )
+    from repro.recovery.wal import WalError, scan
+
+    root = args.dir
+    if not os.path.isdir(root):
+        print(f"{root}: not a directory", file=sys.stderr)
+        return 2
+    store = DurableStore(root)
+
+    if args.action == "verify":
+        try:
+            report = store.verify()
+        except (DurableError, WalError, OSError) as error:
+            print(f"FAIL: {error}", file=sys.stderr)
+            return 1
+        print(json.dumps(report, indent=2))
+        print("ok: manifest, checkpoints and WAL are consistent")
+        return 0
+
+    manifest_path = os.path.join(root, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        print(f"{root}: no {MANIFEST_NAME} (not a durable recovery dir)", file=sys.stderr)
+        return 1
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    wal_path = os.path.join(root, manifest["wal"])
+
+    if args.action == "ls":
+        print(f"{root}: durable recovery state "
+              f"(config {manifest['config_digest'][:12]}, "
+              f"{manifest['commits']} commit(s))")
+        for name in sorted(manifest["epochs"]):
+            filename = manifest["ckpts"][name]
+            size = os.path.getsize(os.path.join(store.ckpts.root, filename))
+            print(f"  ckpt  {name:<16} epoch {manifest['epochs'][name]:>4}  "
+                  f"{size:>8} B  {filename}")
+        if os.path.exists(wal_path):
+            records, good, tail = scan(wal_path)
+            counts: dict = {}
+            for record in records:
+                counts[record["t"]] = counts.get(record["t"], 0) + 1
+            summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            print(f"  wal   {manifest['wal']:<16} {good:>8} B  tail={tail}  {summary}")
+        frames = FrameStore(os.path.join(root, "frames"))
+        if frames.count():
+            print(f"  frames/{'':<15} {frames.count()} frame(s) on disk")
+        return 0
+
+    if args.action == "dump":
+        records, good, tail = scan(wal_path)
+        shown = records if args.limit is None else records[: args.limit]
+        for i, record in enumerate(shown):
+            kind = record["t"]
+            if kind == "send":
+                src, iface = record["key"]
+                comp, prov = record["target"]
+                msg = record["msg"]
+                print(f"{i:>6} send  uid={record['uid']:<6} dseq={record['dseq']:<5} "
+                      f"{src}.{iface} -> {comp}.{prov} kind={msg['kind']} "
+                      f"tag={msg['tag']!r} bytes={msg['size_bytes']}")
+            elif kind == "acks":
+                pairs = ", ".join(f"{s}.{i}#{d}" for (s, i), d in record["msgs"])
+                print(f"{i:>6} acks  {pairs}")
+            elif kind == "ckpt":
+                print(f"{i:>6} ckpt  {record['component']} epoch={record['epoch']}")
+            else:
+                print(f"{i:>6} {kind}  {record}")
+        if args.limit is not None and len(records) > args.limit:
+            print(f"... {len(records) - args.limit} more record(s)")
+        print(f"{len(records)} record(s), {good} trusted byte(s), tail={tail}")
+        return 0
+
+    raise AssertionError(f"unhandled recover action {args.action!r}")  # pragma: no cover
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -414,6 +544,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="install the recovery manager: checkpoints, acked delivery and "
         "crash-consistent replay; requires the complete frame set bit-exact",
     )
+    faults.add_argument(
+        "--durable", metavar="DIR", default=None,
+        help="run the campaign in a supervised child OS process with its "
+        "recovery state (WAL + checkpoints + frames) persisted in DIR; "
+        "requires --recover",
+    )
+    faults.add_argument(
+        "--kill9", type=int, default=None, metavar="K",
+        help="with --durable: schedule K real SIGKILLs of the component "
+        "process at seed-derived durable-frame counts (default 1)",
+    )
+
+    recover = sub.add_parser(
+        "recover", help="inspect a durable recovery directory (WAL, checkpoints)"
+    )
+    recover.add_argument(
+        "action", choices=("ls", "dump", "verify"),
+        help="ls: summarize; dump: print WAL records; verify: check consistency",
+    )
+    recover.add_argument("dir", help="durable recovery directory")
+    recover.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="dump: show at most N records",
+    )
 
     trace = sub.add_parser(
         "trace", help="causal trace of the MJPEG SMP demo (critical path, flows)"
@@ -446,6 +600,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     if args.command == "trace":
         return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

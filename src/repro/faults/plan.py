@@ -32,6 +32,15 @@ Fault taxonomy (``kind``):
     The receiving mailbox behaves as if bounded to ``capacity``
     entries: sends that find it full are refused and the message is
     lost (counted as an overflow fault).
+``kill9``
+    **Process-level**: SIGKILL the real OS process hosting the target
+    component once ``after_frames`` decoded frames are durable on disk.
+    Unlike every other kind this is not injectable in-process -- the
+    victim gets no exception, no cleanup, no supervisor flow; only the
+    durable store survives.  Executed by the kill-9 supervisor of
+    :mod:`repro.recovery.supervised`; :class:`~repro.faults.injector.FaultInjector`
+    rejects plans that still contain one (split them out first with
+    :func:`split_process_faults`).
 """
 
 from __future__ import annotations
@@ -46,13 +55,16 @@ DELAY = "delay"
 CORRUPT = "corrupt"
 STALL = "stall"
 OVERFLOW = "overflow"
+KILL9 = "kill9"
 
-KINDS = (CRASH, DROP, DUPLICATE, DELAY, CORRUPT, STALL, OVERFLOW)
+KINDS = (CRASH, DROP, DUPLICATE, DELAY, CORRUPT, STALL, OVERFLOW, KILL9)
 
 #: Kinds interposed on the sender's transfer path.
 TRANSFER_KINDS = (DROP, DUPLICATE, DELAY, CORRUPT, OVERFLOW)
 #: Kinds interposed on the receiver's receive path.
 RECEIVE_KINDS = (CRASH, STALL)
+#: Kinds executed against the hosting OS process, outside the runtime.
+PROCESS_KINDS = (KILL9,)
 
 
 class FaultPlanError(ValueError):
@@ -71,6 +83,7 @@ class FaultSpec:
     probability: float = 1.0
     delay_ns: int = 0
     capacity: int = 0
+    after_frames: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -94,6 +107,8 @@ class FaultSpec:
             raise FaultPlanError("stall needs on_receive >= 1")
         if self.kind == OVERFLOW and self.capacity < 1:
             raise FaultPlanError(f"overflow needs capacity >= 1, got {self.capacity}")
+        if self.kind == KILL9 and self.after_frames < 1:
+            raise FaultPlanError(f"kill9 needs after_frames >= 1, got {self.after_frames}")
 
     def describe(self) -> Dict[str, Any]:
         """A JSON-friendly summary of this spec (campaign manifests)."""
@@ -110,6 +125,8 @@ class FaultSpec:
             out["delay_ns"] = self.delay_ns
         if self.capacity:
             out["capacity"] = self.capacity
+        if self.after_frames:
+            out["after_frames"] = self.after_frames
         return out
 
 
@@ -165,9 +182,26 @@ class FaultPlan:
         """Bound the mailbox behind this connection; overflowing sends are lost."""
         return self.add(FaultSpec(OVERFLOW, component, interface, capacity=capacity))
 
+    def kill9(self, component: str, after_frames: int) -> "FaultPlan":
+        """SIGKILL the OS process hosting ``component`` once ``after_frames``
+        decoded frames are durable on disk (process-level; see module doc)."""
+        return self.add(FaultSpec(KILL9, component, after_frames=after_frames))
+
+    def process_faults(self) -> List[FaultSpec]:
+        """The process-level specs (executed outside the runtime)."""
+        return [s for s in self.specs if s.kind in PROCESS_KINDS]
+
     def describe(self) -> List[Dict[str, Any]]:
         """JSON-friendly plan manifest (stable order)."""
         return [spec.describe() for spec in self.specs]
 
     def __len__(self) -> int:
         return len(self.specs)
+
+
+def split_process_faults(plan: FaultPlan) -> "tuple[FaultPlan, List[FaultSpec]]":
+    """Split ``plan`` into an in-process plan (safe to hand to
+    :class:`~repro.faults.injector.FaultInjector`) and the process-level
+    specs the supervising parent executes itself."""
+    inproc = FaultPlan(plan.seed, [s for s in plan.specs if s.kind not in PROCESS_KINDS])
+    return inproc, plan.process_faults()

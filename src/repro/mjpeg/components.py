@@ -221,6 +221,7 @@ class ReorderComponent(Component):
         batches_per_image: int = BATCHES_PER_IMAGE,
         keep_frames: bool = False,
         drop_incomplete: bool = False,
+        frame_sink=None,
     ) -> None:
         super().__init__(name)
         self.height = height
@@ -235,6 +236,12 @@ class ReorderComponent(Component):
         #: Fault-injection campaigns set this so dropped batches cost the
         #: affected frame, not the whole pipeline.
         self.drop_incomplete = drop_incomplete
+        #: Optional ``(index, image) -> None`` callback fired on every
+        #: frame completion, *including* re-completions after a restore --
+        #: sinks must be idempotent by index (the durable campaign's
+        #: :class:`~repro.recovery.durable.FrameStore` overwrites with
+        #: byte-identical content).
+        self.frame_sink = frame_sink
         self.frames: Dict[int, np.ndarray] = {}
         #: Indices of frames fully reassembled and delivered to display.
         #: Also the duplicate filter: a re-delivered batch of a finished
@@ -298,6 +305,8 @@ class ReorderComponent(Component):
                 image = assemble_image(batches, self.height, self.width)
                 yield from ctx.compute("reorder_block", n_blocks)
                 yield from ctx.deposit("display", image, tag=TAG_FRAME)
+                if self.frame_sink is not None:
+                    self.frame_sink(index, image)
                 if self.keep_frames:
                     self.frames[index] = image
                 del self._pending[index]
@@ -420,6 +429,7 @@ def build_smp_assembly(
     keep_frames: bool = False,
     with_observer: bool = True,
     drop_incomplete: bool = False,
+    frame_sink=None,
 ) -> Application:
     """The Figure 3 application: Fetch + n IDCT + Reorder."""
     app = Application("mjpeg-smp")
@@ -437,6 +447,7 @@ def build_smp_assembly(
             n_upstream=n_idct,
             keep_frames=keep_frames,
             drop_incomplete=drop_incomplete,
+            frame_sink=frame_sink,
         )
     )
     for i, idct in enumerate(idcts, start=1):

@@ -19,8 +19,24 @@ Three cooperating layers (see ``docs/robustness.md``):
 Together these make the fault injector's crash / drop / duplicate faults
 recoverable with exactly-once end-to-end effects, on all three runtimes
 and through the EMBX transport.
+
+A fourth layer (PR 7) makes the first three survive real process death:
+:class:`~repro.recovery.durable.DurableStore` mirrors the protocol into
+an append-only :class:`~repro.recovery.wal.WriteAheadLog` plus on-disk
+checkpoint spills, and ``RecoveryManager(durable=...)`` cold-restores
+the consistent cut in a fresh process -- the basis of the supervised
+``kill -9`` campaign in :mod:`repro.recovery.supervised`.
 """
 
+from repro.recovery.durable import DurableError, DurableStore, FrameStore
 from repro.recovery.manager import RecoveryManager
+from repro.recovery.wal import WalError, WriteAheadLog
 
-__all__ = ["RecoveryManager"]
+__all__ = [
+    "DurableError",
+    "DurableStore",
+    "FrameStore",
+    "RecoveryManager",
+    "WalError",
+    "WriteAheadLog",
+]

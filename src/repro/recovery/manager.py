@@ -39,6 +39,19 @@ interface (the display mailbox), and re-execution after restore may
 re-deposit an identical item -- at-least-once, deduplicated downstream by
 frame index.  The delivery-guarantee table in ``docs/robustness.md``
 spells this out.
+
+Durability
+----------
+All of the above lives in process memory and therefore dies with the
+process.  Pass ``durable=DurableStore(dir)`` and the manager mirrors the
+protocol to disk (see :mod:`repro.recovery.durable`): every guaranteed
+send is journaled with its retransmit payload, every checkpoint commit
+spills the snapshot and journals the acks, and :meth:`install` in a
+fresh process **cold-restores** the whole consistent cut -- committed
+component states, rolled-back dseq/rx counters, and the unacked
+retransmit buffers replayed into the (empty) mailboxes.  In-process
+supervised restarts (:meth:`on_restart`) keep using the in-memory
+tables; the disk is only read when the memory is gone.
 """
 
 from __future__ import annotations
@@ -59,9 +72,13 @@ ConnKey = Tuple[str, str]
 class RecoveryManager:
     """Exactly-once delivery and checkpoint/restore for one runtime."""
 
-    def __init__(self, checkpoint_interval: int = 8) -> None:
+    def __init__(self, checkpoint_interval: int = 8, durable=None) -> None:
         if checkpoint_interval < 1:
             raise ValueError(f"checkpoint_interval must be >= 1, got {checkpoint_interval}")
+        #: Optional :class:`repro.recovery.durable.DurableStore` mirroring
+        #: the delivery protocol to disk.
+        self.durable = durable
+        self.cold_restored = False
         #: Attempt a checkpoint every N guaranteed operations (sends +
         #: deliveries) per component.  Attempts are cheap when the
         #: component declines (snapshot() -> None).
@@ -122,12 +139,68 @@ class RecoveryManager:
                 base = base._delegate
             base.recovery = self
             self._conts[cont.component.name] = cont
-        # Epoch-0 checkpoints: the pristine state is the restore target for
-        # components that crash before their first periodic checkpoint.
-        for name in self._conts:
-            self._take_checkpoint(name)
+        if self.durable is not None and self.durable.has_state():
+            # A previous process committed state into this directory --
+            # this install is a cold restore, not a fresh start.
+            self._cold_restore()
+        else:
+            if self.durable is not None:
+                self.durable.open()
+            # Epoch-0 checkpoints: the pristine state is the restore target
+            # for components that crash before their first periodic
+            # checkpoint.
+            for name in self._conts:
+                self._take_checkpoint(name)
         self.installed = True
         return self
+
+    def _cold_restore(self) -> None:
+        """Rebuild the consistent cut a dead process left on disk: restore
+        committed component states, roll dseq/rx to the committed instant,
+        refill the retransmit buffers from the WAL, and replay every
+        unacked message into the (empty) mailboxes in original send order.
+
+        Messages sent after their sender's committed checkpoint appear
+        both here (journaled) and again live (the rolled-back sender
+        re-emits them under the same dseq); receiver-side dedup renders
+        the pair exactly-once, same as any duplicate.
+        """
+        restored = self.durable.open().restore_state()
+        for name, ckpt in restored.checkpoints.items():
+            cont = self._conts.get(name)
+            if cont is None:
+                continue  # directory holds state for a larger app graph
+            cont.component.restore(deepcopy(ckpt["state"]))
+            self._ckpt[name] = ckpt
+            self._epoch[name] = ckpt["epoch"]
+            self._ops[name] = 0
+            keys = list(ckpt["send"])
+            if keys:
+                self._send_keys[name] = keys
+            for key, dseq in ckpt["send"].items():
+                self._send_dseq[key] = dseq
+            self._rx[name] = {
+                k: {"next": v["next"], "seen": set(v["seen"])}
+                for k, v in ckpt["rx"].items()
+            }
+        entries = []
+        for key, slot in restored.unacked.items():
+            buffered = self._unacked.setdefault(key, {})
+            for dseq, (uid, message, (comp_name, prov_name)) in slot.items():
+                cont = self._conts.get(comp_name)
+                if cont is None:
+                    continue
+                target = cont.component.get_provided(prov_name)
+                buffered[dseq] = (uid, message, target)
+                entries.append((uid, comp_name, target, message))
+        self._uid = count(restored.next_uid)
+        # Mailboxes are empty in a fresh runtime, so reversed front-insert
+        # (the same move on_restart uses) reproduces original send order.
+        entries.sort(key=lambda e: e[0])
+        for _uid, comp_name, target, message in reversed(entries):
+            self._replay_one(comp_name, target, message)
+        self.restores += 1
+        self.cold_restored = True
 
     def _tracer(self, name: str):
         cont = self._conts.get(name)
@@ -159,10 +232,16 @@ class RecoveryManager:
         self._ops[name] = 0
         # Ack-on-checkpoint: everything delivered up to here is folded
         # into the committed state, so the senders may forget it.
+        acked = []
         for msg in self._delivered.pop(name, []):
-            slot = self._unacked.get((msg.src, msg.src_interface))
-            if slot is not None:
-                slot.pop(msg.dseq, None)
+            key = (msg.src, msg.src_interface)
+            slot = self._unacked.get(key)
+            if slot is not None and slot.pop(msg.dseq, None) is not None:
+                acked.append((key, msg.dseq))
+        if self.durable is not None:
+            # The disk commit carries the acks with it (journaled after
+            # the manifest flips -- see repro.recovery.durable).
+            self.durable.commit_checkpoint(name, ckpt, acked)
         nbytes = payload_nbytes(ckpt["state"])
         self.checkpoints += 1
         self.checkpoint_bytes += nbytes
@@ -197,9 +276,14 @@ class RecoveryManager:
             # The copy shares the payload reference deliberately: CORRUPT
             # faults reassign ``message.payload`` on the original object,
             # so the buffered copy keeps the pristine payload for replay.
-            self._unacked.setdefault(key, {})[dseq] = (
-                next(self._uid), replace(message), target,
-            )
+            uid = next(self._uid)
+            copy = replace(message)
+            self._unacked.setdefault(key, {})[dseq] = (uid, copy, target)
+            if self.durable is not None:
+                self.durable.log_send(
+                    key, dseq, uid, copy,
+                    (target.component.name, target.name),
+                )
             self._ops[name] = self._ops.get(name, 0) + 1
 
     def before_receive(self, ctx) -> None:
@@ -351,11 +435,16 @@ class RecoveryManager:
 
     # -- reporting ------------------------------------------------------------
 
+    def close(self) -> None:
+        """Flush and release the durable store, if any."""
+        if self.durable is not None:
+            self.durable.close()
+
     def report(self) -> Dict[str, Any]:
         """Summary of recovery activity (JSON-friendly)."""
         with self._lock:
             outstanding = sum(len(slot) for slot in self._unacked.values())
-            return {
+            out = {
                 "checkpoints": self.checkpoints,
                 "checkpoint_bytes": self.checkpoint_bytes,
                 "replayed": self.replayed,
@@ -364,3 +453,13 @@ class RecoveryManager:
                 "unacked": outstanding,
                 "epochs": dict(self._epoch),
             }
+            if self.durable is not None and self.durable.wal is not None:
+                out["durable"] = {
+                    "root": self.durable.root,
+                    "cold_restored": self.cold_restored,
+                    "wal_bytes": self.durable.wal.size_bytes(),
+                    "wal_appends": self.durable.wal.appended,
+                    "wal_truncated_bytes": self.durable.wal.truncated_bytes,
+                    "commits": self.durable.manifest.get("commits", 0),
+                }
+            return out

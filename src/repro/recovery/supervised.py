@@ -1,0 +1,216 @@
+"""The kill-9 supervisor: SIGKILL a live component process, restore it
+from disk, prove nothing was lost.
+
+:func:`run_durable_campaign` is the process-level counterpart of
+:func:`repro.faults.campaign.run_chaos_campaign`: the same seeded chaos
+campaign (in-process crashes, drops, duplicates) runs in a **child OS
+process** (:mod:`repro.recovery.worker`) whose recovery state lives in a
+:class:`~repro.recovery.durable.DurableStore`, and this parent executes
+the plan's ``kill9`` faults against the real pid -- SIGKILL, no warning,
+no cleanup -- once the scheduled number of decoded frames is durable on
+disk.  Each respawn cold-restores from the WAL + checkpoints.
+
+The oracle is the same sha256 frame-set digest as ``repro faults
+--recover``: after every kill and restore, the complete frame set on
+disk must be bit-identical to a fault-free reference run.  The parent
+computes the reference itself (simulated runtime, no shared state with
+the child) and hashes the frames it reads back from disk -- nothing the
+child claims is trusted.
+
+Kill instants are scheduled in *progress* units (frames durable on
+disk), not wall-clock, so every seed kills at a reproducible point in
+the stream even though thread scheduling makes the exact message-level
+instant nondeterministic; the digest is invariant either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.faults.campaign import _run_reference, build_campaign_plan
+from repro.mjpeg.components import frames_digest
+from repro.mjpeg.stream import generate_stream
+from repro.recovery.durable import FrameStore, atomic_write_bytes
+from repro.recovery.worker import CONFIG_NAME, FRAMES_DIR, RESULT_NAME
+from repro.runtime.native import SupervisedProcess
+
+#: Extra respawns tolerated beyond the scheduled kills (a child that
+#: dies on its own -- e.g. a deadline timeout racing teardown -- gets
+#: another chance to finish from its durable state).
+EXTRA_RESPAWNS = 3
+
+
+@dataclass
+class DurableCampaignResult:
+    """Outcome of one supervised kill-9 campaign."""
+
+    seed: int
+    n_images: int
+    durable_dir: str
+    plan: List[Dict[str, Any]]
+    kills: int
+    kills_scheduled: int
+    spawns: int
+    frames_expected: int
+    frames_delivered: int
+    frames_digest: str
+    reference_frames_digest: str
+    elapsed_s: float
+    worker: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Exactly-once across real process death: the complete frame
+        set came back from disk, bit-identical to the reference."""
+        return (
+            self.frames_delivered == self.frames_expected
+            and self.frames_digest == self.reference_frames_digest
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly condensed result (CLI / CI output)."""
+        return {
+            "seed": self.seed,
+            "n_images": self.n_images,
+            "durable_dir": self.durable_dir,
+            "kills": self.kills,
+            "kills_scheduled": self.kills_scheduled,
+            "spawns": self.spawns,
+            "frames_expected": self.frames_expected,
+            "frames_delivered": self.frames_delivered,
+            "frames_digest": self.frames_digest,
+            "reference_frames_digest": self.reference_frames_digest,
+            "ok": self.ok,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "worker": self.worker,
+        }
+
+
+def _worker_env() -> Dict[str, str]:
+    """Child environment: inherit, but make sure the child resolves the
+    same ``repro`` package this process imported."""
+    import repro
+
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if pkg_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = f"{pkg_root}{os.pathsep}{existing}" if existing else pkg_root
+    return env
+
+
+def run_durable_campaign(
+    seed: int = 0,
+    n_images: int = 10,
+    durable_dir: Optional[str] = None,
+    drop_rate: float = 0.05,
+    crashes: int = 3,
+    duplicate_rate: float = 0.05,
+    kill9s: int = 1,
+    max_attempts: int = 5,
+    checkpoint_interval: int = 8,
+    fsync: str = "commit",
+    timeout_s: float = 600.0,
+    poll_s: float = 0.005,
+) -> DurableCampaignResult:
+    """Run one seeded chaos campaign in a supervised child process,
+    SIGKILLing it at the plan's scheduled frame counts; see module doc.
+    """
+    import tempfile
+
+    if durable_dir is None:
+        durable_dir = tempfile.mkdtemp(prefix=f"repro-durable-{seed}-")
+    os.makedirs(durable_dir, exist_ok=True)
+
+    stream = generate_stream(n_images, 96, 96, quality=75, seed=seed)
+    reference = _run_reference(stream)
+    ref_digest = frames_digest(reference)
+
+    config = {
+        "seed": seed,
+        "n_images": n_images,
+        "width": 96,
+        "height": 96,
+        "quality": 75,
+        "drop_rate": drop_rate,
+        "crashes": crashes,
+        "duplicate_rate": duplicate_rate,
+        "kill9s": kill9s,
+        "max_attempts": max_attempts,
+        "checkpoint_interval": checkpoint_interval,
+        "fsync": fsync,
+    }
+    atomic_write_bytes(
+        os.path.join(durable_dir, CONFIG_NAME),
+        json.dumps(config, indent=2, sort_keys=True).encode(),
+    )
+
+    plan = build_campaign_plan(
+        seed,
+        n_images,
+        drop_rate=drop_rate,
+        crashes=crashes,
+        duplicate_rate=duplicate_rate,
+        kill9s=kill9s,
+    )
+    pending_kills = sorted(
+        (spec.after_frames for spec in plan.process_faults()), reverse=True
+    )
+
+    frames_store = FrameStore(os.path.join(durable_dir, FRAMES_DIR))
+    result_path = os.path.join(durable_dir, RESULT_NAME)
+    worker = SupervisedProcess(
+        [sys.executable, "-m", "repro.recovery.worker", durable_dir],
+        env=_worker_env(),
+        log_path=os.path.join(durable_dir, "worker.log"),
+    )
+
+    t0 = time.monotonic()
+    deadline = t0 + timeout_s
+    respawn_budget = len(pending_kills) + EXTRA_RESPAWNS
+    while True:
+        if time.monotonic() > deadline:
+            worker.terminate()
+            raise TimeoutError(
+                f"durable campaign (seed {seed}) exceeded {timeout_s}s; "
+                f"see {os.path.join(durable_dir, 'worker.log')}"
+            )
+        if not worker.alive:
+            if os.path.exists(result_path) and worker.poll() == 0:
+                break  # the stream is drained and the result is durable
+            if worker.spawns > respawn_budget:
+                raise RuntimeError(
+                    f"durable campaign (seed {seed}) worker died "
+                    f"{worker.spawns} times without completing; "
+                    f"see {os.path.join(durable_dir, 'worker.log')}"
+                )
+            worker.spawn()
+        if pending_kills and frames_store.count() >= pending_kills[-1]:
+            if worker.kill9():
+                pending_kills.pop()
+            # else: the child finished first; the loop reaps it above.
+        time.sleep(poll_s)
+
+    delivered = frames_store.load_frames()
+    with open(result_path) as fh:
+        worker_result = json.load(fh)
+    return DurableCampaignResult(
+        seed=seed,
+        n_images=n_images,
+        durable_dir=durable_dir,
+        plan=plan.describe(),
+        kills=worker.kills,
+        kills_scheduled=kill9s,
+        spawns=worker.spawns,
+        frames_expected=len(reference),
+        frames_delivered=len(delivered),
+        frames_digest=frames_digest(delivered),
+        reference_frames_digest=ref_digest,
+        elapsed_s=time.monotonic() - t0,
+        worker=worker_result,
+    )

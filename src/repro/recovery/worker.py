@@ -1,0 +1,119 @@
+"""Durable-campaign worker: the component-hosting OS process.
+
+``python -m repro.recovery.worker <dir>`` runs one incarnation of the
+MJPEG SMP assembly on the native runtime (real threads -- the paper's
+"an EMBera application is a Linux user process"), with:
+
+- the seed-derived in-process fault plan (crashes / drops / duplicates;
+  any process-level ``kill9`` specs are stripped -- the supervising
+  parent executes those against *this* process),
+- a :class:`~repro.recovery.RecoveryManager` layered over the
+  :class:`~repro.recovery.durable.DurableStore` in ``<dir>``,
+- completed frames externalized through a
+  :class:`~repro.recovery.durable.FrameStore` (``<dir>/frames``), which
+  doubles as the parent's progress signal and the digest oracle's input.
+
+The process expects to be SIGKILLed at any instant.  On (re)spawn it
+reads ``<dir>/CONFIG.json``, rebuilds the identical application, and
+``RecoveryManager.install`` cold-restores whatever consistent cut the
+previous incarnation committed.  A run that drains the stream writes
+``<dir>/RESULT.json`` (atomically) -- its existence is the completion
+signal; everything else about this process is disposable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+CONFIG_NAME = "CONFIG.json"
+RESULT_NAME = "RESULT.json"
+FRAMES_DIR = "frames"
+
+
+def run_worker(root: str) -> dict:
+    """One incarnation of the durable campaign in directory ``root``."""
+    from repro.faults.campaign import build_campaign_plan
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import split_process_faults
+    from repro.faults.supervisor import RestartPolicy, Supervisor
+    from repro.mjpeg.components import build_smp_assembly
+    from repro.mjpeg.stream import generate_stream
+    from repro.recovery.durable import DurableStore, FrameStore, atomic_write_bytes
+    from repro.recovery.manager import RecoveryManager
+    from repro.runtime.native import NativeRuntime
+
+    with open(os.path.join(root, CONFIG_NAME)) as fh:
+        config = json.load(fh)
+
+    stream = generate_stream(
+        config["n_images"],
+        config["height"],
+        config["width"],
+        quality=config["quality"],
+        seed=config["seed"],
+    )
+    frames = FrameStore(os.path.join(root, FRAMES_DIR))
+    app = build_smp_assembly(
+        stream,
+        use_stored_coefficients=True,
+        keep_frames=False,
+        with_observer=False,
+        drop_incomplete=False,
+        frame_sink=frames.save,
+    )
+    runtime = NativeRuntime(receive_timeout_s=config.get("receive_timeout_s", 30.0))
+    runtime.deploy(app)
+
+    plan = build_campaign_plan(
+        config["seed"],
+        config["n_images"],
+        drop_rate=config.get("drop_rate", 0.05),
+        crashes=config.get("crashes", 3),
+        duplicate_rate=config.get("duplicate_rate", 0.05),
+        kill9s=config.get("kill9s", 0),
+    )
+    inproc, _process_specs = split_process_faults(plan)
+    injector = FaultInjector(inproc).install(runtime)
+    store = DurableStore(root, config=config, fsync=config.get("fsync", "commit"))
+    recovery = RecoveryManager(
+        checkpoint_interval=config.get("checkpoint_interval", 8), durable=store
+    ).install(runtime)
+    supervisor = Supervisor(
+        policy=RestartPolicy(
+            max_attempts=config.get("max_attempts", 5), base_backoff_ns=200_000
+        ),
+        seed=config["seed"],
+    ).install(runtime)
+
+    runtime.start()
+    runtime.wait()
+    runtime.stop()
+
+    result = {
+        "pid": os.getpid(),
+        "frames_on_disk": frames.count(),
+        "injected": injector.counts(),
+        "supervised_restarts": len(supervisor.events),
+        "recovery": recovery.report(),
+    }
+    recovery.close()
+    atomic_write_bytes(
+        os.path.join(root, RESULT_NAME),
+        json.dumps(result, indent=2, sort_keys=True).encode(),
+    )
+    return result
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.recovery.worker <durable-dir>", file=sys.stderr)
+        return 2
+    run_worker(argv[0])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

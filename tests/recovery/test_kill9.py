@@ -1,0 +1,79 @@
+"""Real process death: SIGKILL the component-hosting OS process.
+
+The tentpole acceptance oracle, one seed's worth (the 1/7/42 matrix
+runs in CI's ``kill9-recovery`` job): a native-runtime worker process
+is killed -9 mid-campaign at a seed-derived durable-frame count, cold
+restored from the on-disk WAL + checkpoints by a fresh incarnation, and
+the complete decoded frame set on disk must be sha256-identical to the
+fault-free in-process reference.  Nothing the child claims is trusted
+-- the digest is recomputed by this (parent) process from the bytes on
+disk.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+from repro.recovery.supervised import _worker_env, run_durable_campaign
+from repro.runtime.native import SupervisedProcess
+
+
+def test_sigkill_mid_campaign_restores_bit_exact_frames(tmp_path):
+    result = run_durable_campaign(
+        seed=7,
+        n_images=6,
+        durable_dir=str(tmp_path / "state"),
+        kill9s=1,
+        timeout_s=300.0,
+    )
+    assert result.kills == 1  # the SIGKILL really happened
+    assert result.spawns >= 2  # and a fresh incarnation took over
+    # The MJPEG stream's frame convention: n_images - 1 decoded frames.
+    assert result.frames_expected == 5
+    assert result.frames_delivered == result.frames_expected
+    assert result.frames_digest == result.reference_frames_digest
+    assert result.ok
+    # The surviving directory passes its own consistency audit.
+    from repro.recovery.durable import DurableStore
+
+    with open(os.path.join(result.durable_dir, "CONFIG.json")) as fh:
+        config = json.load(fh)
+    report = DurableStore(result.durable_dir, config=config).open().verify()
+    assert report["ok"]
+    # The worker recorded its cold restore in RESULT.json.
+    with open(os.path.join(result.durable_dir, "RESULT.json")) as fh:
+        worker = json.load(fh)
+    assert worker["recovery"]["durable"]["cold_restored"] is True
+
+
+def test_supervised_process_spawn_kill_reap():
+    """The process-control primitive in isolation: spawn, SIGKILL, reap,
+    respawn -- exit codes and counters must reflect the signal."""
+    proc = SupervisedProcess(
+        [sys.executable, "-c", "import time; time.sleep(60)"], env=_worker_env()
+    )
+    proc.spawn()
+    assert proc.alive
+    assert proc.kill9()
+    assert not proc.alive
+    assert proc.poll() == -signal.SIGKILL
+    assert (proc.spawns, proc.kills) == (1, 1)
+    assert not proc.kill9()  # already dead: no double count
+    proc.spawn()
+    assert proc.alive
+    proc.terminate()  # teardown path: SIGKILL + reap
+    assert not proc.alive
+    assert (proc.spawns, proc.kills) == (2, 2)
+
+
+def test_worker_module_usage_error():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.recovery.worker"],
+        env=_worker_env(),
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 2
+    assert "usage:" in proc.stderr
