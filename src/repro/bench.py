@@ -26,6 +26,9 @@ is byte-compatible with previous revisions.
 ``--check`` re-runs the kernel hot-path benches (``schedule_run``,
 ``tracer_emit``) and compares them against the committed
 ``BENCH_kernel.json``; a >25% per-op regression fails the run (CI gate).
+It also re-measures the ``metrics_overhead`` scenario (the MJPEG decode
+with and without the live telemetry plane) and fails when the overhead
+ratio exceeds the absolute 1.05x budget.
 """
 
 from __future__ import annotations
@@ -471,6 +474,61 @@ def bench_kernel(quick: bool = False) -> Dict:
 
     t_probe = _best(run_probe, reps)
 
+    # Always-on telemetry overhead (the live metrics plane): the full
+    # MJPEG SMP decode with and without `enable_telemetry`, timed as
+    # interleaved pairs on CPU time with the GC parked during the timed
+    # section.  Wall clock and a fixed arm order both measured noisier
+    # than the effect being gated (scheduler preemption lands in one
+    # arm, allocation bursts trigger GC pauses at random, and sustained
+    # load drifts core frequency between arms), so this scenario keeps
+    # its own protocol instead of `_best` and compares best-of-arm
+    # ratios.  The 1.05x budget is enforced by `--check` (CI).
+    import gc
+
+    from repro.metrics import enable_telemetry
+    from repro.mjpeg.components import build_smp_assembly
+    from repro.mjpeg.stream import generate_stream
+    from repro.runtime.simulated import SmpSimRuntime
+
+    # Quick mode keeps the full 8-image workload: shrinking it raises
+    # the noise floor past the 1.05x budget the gate enforces -- only
+    # the pair count is reduced.
+    tel_images = 8
+    tel_pairs = 6 if quick else 10
+    tel_stream = generate_stream(tel_images, 96, 96, quality=75, seed=1)
+
+    def run_telemetry_arm(with_telemetry: bool) -> float:
+        app = build_smp_assembly(tel_stream)
+        rt = SmpSimRuntime()
+        rt.deploy(app)
+        if with_telemetry:
+            enable_telemetry(rt)
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.process_time()
+            rt.start()
+            rt.wait()
+            elapsed = time.process_time() - t0
+        finally:
+            gc.enable()
+        rt.stop()
+        return elapsed
+
+    run_telemetry_arm(False)  # warm both code paths before timing
+    run_telemetry_arm(True)
+    plain_best = telemetry_best = float("inf")
+    for pair in range(tel_pairs):
+        if pair % 2:  # alternate arm order: cancels frequency drift
+            t_on = run_telemetry_arm(True)
+            t_off = run_telemetry_arm(False)
+        else:
+            t_off = run_telemetry_arm(False)
+            t_on = run_telemetry_arm(True)
+        plain_best = min(plain_best, t_off)
+        telemetry_best = min(telemetry_best, t_on)
+    telemetry_overhead = telemetry_best / plain_best
+
     # Faults / recovery scenario (ROADMAP): simulated makespan of the
     # MJPEG SMP decode fault-free, supervised under chaos, and supervised
     # with exactly-once recovery -- plus the amortised per-restart
@@ -608,6 +666,13 @@ def bench_kernel(quick: bool = False) -> Dict:
                 "best_s": t_probe,
                 "ns_per_record": t_probe / n_records * 1e9,
             },
+            "metrics_overhead": {
+                "images": tel_images,
+                "pairs": tel_pairs,
+                "plain_best_s": plain_best,
+                "telemetry_best_s": telemetry_best,
+                "overhead": telemetry_overhead,
+            },
             "faults_campaign": {
                 "images": n_images,
                 "baseline_makespan_ns": baseline_ns,
@@ -676,6 +741,12 @@ _CHECK_BENCHES = (
 #: Maximum tolerated per-op regression versus the committed baseline.
 _CHECK_TOLERANCE = 0.25
 
+#: Absolute ceiling on the always-on telemetry overhead ratio (the
+#: ``metrics_overhead`` scenario): not baseline-relative, because the
+#: budget is a product promise -- the metrics plane must stay cheap
+#: enough to leave enabled.
+_METRICS_OVERHEAD_MAX = 1.05
+
 
 def check_regressions(
     quick: bool = True, baseline_path: str = "BENCH_kernel.json"
@@ -699,6 +770,20 @@ def check_regressions(
         print(
             f"check {bench_name}: {new:.0f} vs baseline {old:.0f} {per_op_key}"
             f" ({ratio:.2f}x) {verdict}"
+        )
+    # Absolute budget, not baseline-relative: the 1.05x telemetry
+    # overhead is a product promise.  Stubbed runs (the gate's own unit
+    # tests) may omit the scenario.
+    scenario = current.get("metrics_overhead")
+    if scenario is not None:
+        overhead = scenario["overhead"]
+        verdict = "ok"
+        if overhead > _METRICS_OVERHEAD_MAX:
+            verdict = f"OVER BUDGET (>{_METRICS_OVERHEAD_MAX:.2f}x)"
+            ok = False
+        print(
+            f"check metrics_overhead: {overhead:.3f}x"
+            f" (budget {_METRICS_OVERHEAD_MAX:.2f}x) {verdict}"
         )
     return ok
 

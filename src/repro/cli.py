@@ -19,17 +19,30 @@ Commands
     the per-frame decode benches across a process pool; ``--check``
     re-runs the kernel hot paths and fails on a >25% regression versus
     the committed ``BENCH_kernel.json`` instead of writing artifacts.
-``run [--images N] [--shards N] [--parallel]``
+``run [--images N] [--shards N] [--parallel] [--metrics OUT]``
     Run the MJPEG SMP decode and print the sha256 of the decoded frame
     set.  ``--shards N`` partitions the simulation across N conservative
     shards (``repro.sim.shard``); the digest is identical for every
-    shard count -- the CI ``shard-smoke`` job diffs them.
+    shard count -- the CI ``shard-smoke`` job diffs them.  ``--metrics
+    OUT`` additionally runs the live telemetry plane and writes the
+    merged registry (the ``metrics sha256:`` line is likewise
+    shard-count invariant -- the CI ``metrics-smoke`` job diffs it).
+``top [--images N] [--shards N] [--watch]``
+    Live ascii telemetry dashboard over the MJPEG SMP decode:
+    per-component send/receive/latency/busy/restart table plus the
+    windowed message-rate and latency chart; ``--watch`` replays the
+    telemetry windows as redrawn terminal frames.
 ``faults [--seed S] [--images N] [--drop-rate P] [--crashes K] [--recover]
-[--durable DIR] [--kill9 K]``
+[--durable DIR] [--kill9 K] [--metrics OUT]``
     Run a seeded chaos campaign over the MJPEG SMP demo (crashes,
     drops, duplicates under supervision) and print the recovery
     report; exits 1 unless every surviving frame is bit-exact (see
-    ``docs/robustness.md``).  With ``--recover --durable DIR`` the
+    ``docs/robustness.md``).  The campaign carries the live telemetry
+    plane with QoS contracts on the decode pipeline: plain campaigns
+    trip the *ordering* contract (injected duplicates reach the app),
+    ``--recover`` campaigns trip the *deadline* contract (replays
+    arrive late) and dedup the duplicates.  ``--metrics OUT`` writes
+    the campaign registry.  With ``--recover --durable DIR`` the
     campaign runs in a supervised child OS process whose recovery
     state lives on disk in ``DIR``, and ``--kill9 K`` schedules K real
     SIGKILLs of that process mid-decode; the oracle is unchanged (the
@@ -119,7 +132,8 @@ def _demo(platform: str, n_images: int) -> int:
 
 
 def _cmd_observe(_args: argparse.Namespace) -> int:
-    from repro.core import Application, CONTROL
+    from repro.core import Application, CONTROL, InterfaceContract
+    from repro.metrics import enable_telemetry
     from repro.runtime import NativeRuntime
 
     def producer(ctx):
@@ -139,12 +153,22 @@ def _cmd_observe(_args: argparse.Namespace) -> int:
     app.create("producer", behavior=producer, requires=["out"])
     app.create("consumer", behavior=consumer, provides=["in"])
     app.connect("producer", "out", "consumer", "in")
+    # A QoS contract on the consumer input: checked live by the telemetry
+    # plane, reported through the observer (see the command's --help for
+    # the JSON schema).
+    app.components["consumer"].set_contract(
+        "in", InterfaceContract(deadline_ns=1_000_000_000, ordered=True, name="demo-qos")
+    )
     app.attach_observer()
     rt = NativeRuntime()
-    rt.run(app)
+    rt.deploy(app)
+    enable_telemetry(rt)
+    rt.start()
+    rt.wait()
     reports = rt.collect()
     rt.stop()
     printable = {f"{comp}/{level}": data for (comp, level), data in reports.items()}
+    printable["contract_violations"] = app.observer.contract_violations()
     print(json.dumps(printable, indent=2, default=str))
     return 0
 
@@ -177,6 +201,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ``SmpSimRuntime``; ``--shards N`` for N > 1 runs the same assembly on
     the sharded conservative simulation.  The final ``frames sha256:``
     line is the CI contract: it must be identical for every shard count.
+
+    With ``--metrics OUT`` the run carries the live telemetry plane and
+    writes the merged registry to OUT (Prometheus text for ``.prom`` /
+    ``.txt``, JSON otherwise).  Components are pinned to cores in
+    deployment order and every shard count runs the sharded simulation,
+    so the ``metrics sha256:`` line is a second shard-count-invariant
+    CI contract: the whole telemetry stream (histogram buckets, window
+    series) is bit-identical for any ``--shards N``.
     """
     from repro.mjpeg import generate_stream
     from repro.mjpeg.components import build_smp_assembly, frames_digest
@@ -187,11 +219,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     stream = generate_stream(args.images, 96, 96, quality=75, seed=0)
     app = build_smp_assembly(stream, use_stored_coefficients=True, keep_frames=True)
-    if args.shards == 1:
+    if args.metrics is not None:
+        from repro.metrics import collect_telemetry, enable_telemetry
+
+        # Pin the placement so the shard partitioner cannot move
+        # components between runs: shard-merge invariance of the metrics
+        # stream is only meaningful over one fixed placement.
+        for i, comp in enumerate(app.components.values()):
+            comp.placement.setdefault("core", i)
+        rt = ShardedSmpSimRuntime(args.shards, parallel=args.parallel)
+        rt.deploy(app)
+        enable_telemetry(rt)
+        rt.start()
+        rt.wait()
+    elif args.shards == 1:
         rt = SmpSimRuntime()
+        rt.run(app)
     else:
         rt = ShardedSmpSimRuntime(args.shards, parallel=args.parallel)
-    rt.run(app)
+        rt.run(app)
     reports = rt.collect()
     rt.stop()
 
@@ -211,6 +257,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"reports={len(reports)} makespan={rt.makespan_ns / 1e6:.3f} simulated ms"
     )
     print(f"frames sha256: {frames_digest(frames)}")
+    if args.metrics is not None:
+        from repro.metrics import metrics_digest, write_metrics
+
+        registry = collect_telemetry(rt)
+        write_metrics(
+            args.metrics, registry,
+            meta={"command": "run", "images": args.images, "shards": args.shards},
+        )
+        n_instruments = len(registry.instruments())
+        print(f"wrote {args.metrics} ({n_instruments} instruments, "
+              f"{len(registry.windows)} windows)")
+        print(f"metrics sha256: {metrics_digest(registry)}")
     return 0
 
 
@@ -236,6 +294,22 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             f"  t={event['t_ns'] / 1e6:10.3f}ms {event['component']:<8} "
             f"{event['action']:<8} attempt={event['attempt']} {event['error']}"
         )
+    if result.metrics is not None:
+        violations = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(result.contract_violations.items())
+        )
+        print(f"contract violations: {violations or 'none'} "
+              f"({result.contract_trace_events} trace event(s))")
+        if args.metrics is not None:
+            from repro.metrics import metrics_digest, write_metrics
+
+            write_metrics(
+                args.metrics, result.metrics,
+                meta={"command": "faults", "seed": args.seed,
+                      "images": args.images, "recover": args.recover},
+            )
+            print(f"wrote {args.metrics}")
+            print(f"metrics sha256: {metrics_digest(result.metrics)}")
     if not result.ok:
         if args.recover:
             print(
@@ -400,6 +474,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         rt = ShardedSmpSimRuntime(args.shards)
         rt.deploy(app)
         shard_buffers = enable_sharded_tracing(rt)
+        if args.metrics is not None:
+            from repro.metrics import enable_telemetry
+
+            enable_telemetry(rt)
         rt.start()
         rt.wait()
         rt.stop()
@@ -413,6 +491,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         rt = SmpSimRuntime()
         rt.deploy(app)
         buffer = enable_tracing(rt)
+        if args.metrics is not None:
+            from repro.metrics import enable_telemetry
+
+            enable_telemetry(rt)
         rt.start()
         rt.wait()
         rt.stop()
@@ -478,6 +560,57 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     n_chrome = write_chrome_trace(buffer.events(), chrome_path)
     print(f"\nwrote {columns_path} ({n_cols} events)")
     print(f"wrote {chrome_path} ({n_chrome} records; open in https://ui.perfetto.dev)")
+    if args.metrics is not None:
+        from repro.metrics import collect_telemetry, write_metrics
+
+        registry = collect_telemetry(rt)
+        write_metrics(
+            args.metrics, registry,
+            meta={"command": "trace", "images": args.images, "shards": args.shards},
+        )
+        print(f"wrote {args.metrics} ({len(registry.instruments())} instruments)")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live ascii dashboard over the MJPEG SMP decode telemetry.
+
+    Runs the decode with the telemetry plane enabled, then renders the
+    per-component table plus the windowed message-rate / latency chart.
+    With ``--watch`` the recorded window series is replayed as live
+    frames (one per telemetry window, ``--interval`` seconds apart),
+    each redrawing the terminal like ``top``.
+    """
+    import time
+
+    from repro.metrics import collect_telemetry, enable_telemetry
+    from repro.metrics.dashboard import CLEAR, iter_frames, render_dashboard
+    from repro.mjpeg import generate_stream
+    from repro.mjpeg.components import build_smp_assembly
+    from repro.runtime import ShardedSmpSimRuntime, SmpSimRuntime
+
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    stream = generate_stream(args.images, 96, 96, quality=75, seed=0)
+    app = build_smp_assembly(stream, use_stored_coefficients=True, keep_frames=True)
+    rt = SmpSimRuntime() if args.shards == 1 else ShardedSmpSimRuntime(args.shards)
+    rt.deploy(app)
+    enable_telemetry(rt)
+    rt.start()
+    rt.wait()
+    rt.collect()
+    rt.stop()
+    registry = collect_telemetry(rt)
+
+    if args.watch:
+        for frame in iter_frames(registry, width=args.width):
+            print(CLEAR, end="")
+            print(frame)
+            time.sleep(args.interval)
+    else:
+        title = f"repro top -- mjpeg decode, {args.images} images, {args.shards} shard(s)"
+        print(render_dashboard(registry, width=args.width, title=title))
     return 0
 
 
@@ -498,7 +631,29 @@ def build_parser() -> argparse.ArgumentParser:
     demo_sti = sub.add_parser("demo-sti7200", help="MJPEG decoder on the STi7200 model")
     demo_sti.add_argument("images", nargs="?", type=int, default=20)
 
-    sub.add_parser("observe", help="observe a native-runtime pipeline, dump JSON")
+    observe = sub.add_parser(
+        "observe", help="observe a native-runtime pipeline, dump JSON",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "output schema (JSON object):\n"
+            "  '<component>/os'           exec_time_us, memory_kb, stack_kb\n"
+            "  '<component>/middleware'   sends, receives, queue_depths,\n"
+            "                             per-interface message/byte counts, and\n"
+            "                             'telemetry': {send_duration_ns |\n"
+            "                             receive_duration_ns |\n"
+            "                             delivery_latency_ns: {iface: {count,\n"
+            "                             p50_ns, p90_ns, p99_ns, p999_ns}}}\n"
+            "                             streaming-histogram percentiles\n"
+            "                             (log2 buckets, no per-sample storage)\n"
+            "  '<component>/application'  sends/receives/faults plus 'contracts':\n"
+            "                             {contracts: {iface: clauses}, violations,\n"
+            "                             violations_by_interface} when the\n"
+            "                             component declares interface contracts\n"
+            "  'contract_violations'      observer-wide rollup: {total,\n"
+            "                             by_component: {name: {contracts,\n"
+            "                             violations, by_interface}}}\n"
+        ),
+    )
 
     bench = sub.add_parser("bench", help="run microbenches, write BENCH_*.json")
     bench.add_argument(
@@ -528,6 +683,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute shard windows on OS threads (same results as the "
         "cooperative driver; needs --shards > 1)",
     )
+    run.add_argument(
+        "--metrics", metavar="OUT", default=None,
+        help="enable the live telemetry plane and write the merged registry "
+        "to OUT (.prom/.txt = Prometheus text, else JSON); pins the "
+        "placement and prints a shard-count-invariant 'metrics sha256:' line",
+    )
 
     faults = sub.add_parser(
         "faults", help="seeded chaos campaign on the MJPEG SMP demo"
@@ -555,6 +716,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --durable: schedule K real SIGKILLs of the component "
         "process at seed-derived durable-frame counts (default 1)",
     )
+    faults.add_argument(
+        "--metrics", metavar="OUT", default=None,
+        help="write the campaign's telemetry registry (latency histograms, "
+        "restart/MTTR series, contract-violation counters) to OUT "
+        "(.prom/.txt = Prometheus text, else JSON)",
+    )
 
     recover = sub.add_parser(
         "recover", help="inspect a durable recovery directory (WAL, checkpoints)"
@@ -580,6 +747,31 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--out", default="TRACE_mjpeg", help="output path prefix for trace artifacts"
     )
+    trace.add_argument(
+        "--metrics", metavar="OUT", default=None,
+        help="also run the telemetry plane and write the registry to OUT",
+    )
+
+    top = sub.add_parser(
+        "top", help="live ascii telemetry dashboard over the MJPEG SMP decode"
+    )
+    top.add_argument("--images", type=int, default=8, help="stream length")
+    top.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run (and merge telemetry) across N conservative shards",
+    )
+    top.add_argument(
+        "--watch", action="store_true",
+        help="replay the recorded telemetry windows as live frames, "
+        "redrawing the terminal per window",
+    )
+    top.add_argument(
+        "--interval", type=float, default=0.5, metavar="S",
+        help="seconds between --watch frames (default 0.5)",
+    )
+    top.add_argument(
+        "--width", type=int, default=72, help="dashboard width in columns"
+    )
     return parser
 
 
@@ -604,6 +796,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_recover(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "top":
+        return _cmd_top(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -26,6 +26,7 @@ simulated platforms -- the portability argument of the paper.
 from repro.core.application import Application
 from repro.core.component import Component, ComponentState
 from repro.core.context import ComponentContext
+from repro.core.contracts import ContractChecker, InterfaceContract
 from repro.core.errors import (
     ConnectionError_,
     DeadlineError,
@@ -56,8 +57,10 @@ __all__ = [
     "ComponentContext",
     "ComponentState",
     "ConnectionError_",
+    "ContractChecker",
     "DeadlineError",
     "DATA",
+    "InterfaceContract",
     "EmberaError",
     "EscalationError",
     "InjectedFault",

@@ -133,6 +133,25 @@ class Component:
                 f"available: {sorted(self.required)}"
             ) from None
 
+    def set_contract(self, iface_name: str, contract: Any) -> "Component":
+        """Attach an :class:`~repro.core.contracts.InterfaceContract` to a
+        provided or required interface (provided wins on a name clash).
+        The observation layer checks it at runtime when telemetry is
+        enabled.  Returns self for chaining."""
+        iface = self.provided.get(iface_name) or self.required.get(iface_name)
+        if iface is None:
+            raise ConnectionError_(
+                f"{self.name!r} has no interface {iface_name!r}; "
+                f"available: {sorted(self.provided) + sorted(self.required)}"
+            )
+        if iface.is_observation:
+            raise ConnectionError_(
+                f"cannot attach a contract to observation interface "
+                f"{iface.qualified_name}"
+            )
+        iface.contract = contract
+        return self
+
     def interfaces(self) -> List[tuple]:
         """All interfaces as ``(name, type)`` pairs: provided first, then
         required, each in creation order -- the Figure 5 listing order."""

@@ -39,7 +39,10 @@ DEFAULT_MAILBOX_BYTES = 2458 * 1024
 class ProvidedInterface:
     """A message sink: functionality this component offers."""
 
-    __slots__ = ("component", "name", "is_observation", "binding", "mailbox_bytes", "connected_from")
+    __slots__ = (
+        "component", "name", "is_observation", "binding", "mailbox_bytes",
+        "connected_from", "contract",
+    )
 
     def __init__(
         self,
@@ -59,6 +62,9 @@ class ProvidedInterface:
         #: Required interfaces currently pointing here (the Fractal-style
         #: binding listing; grows/shrinks under dynamic reconfiguration).
         self.connected_from: list = []
+        #: Optional :class:`~repro.core.contracts.InterfaceContract`
+        #: checked by the observation layer (deadline/ordering/rate).
+        self.contract: Any = None
 
     @property
     def qualified_name(self) -> str:
@@ -75,13 +81,16 @@ class RequiredInterface:
     ``target`` is the paper's "pointer towards a provided interface".
     """
 
-    __slots__ = ("component", "name", "is_observation", "target")
+    __slots__ = ("component", "name", "is_observation", "target", "contract")
 
     def __init__(self, component: "Component", name: str, is_observation: bool = False) -> None:
         self.component = component
         self.name = name
         self.is_observation = is_observation
         self.target: Optional[ProvidedInterface] = None
+        #: Optional :class:`~repro.core.contracts.InterfaceContract`
+        #: checked by the observation layer (send-side rate clauses).
+        self.contract: Any = None
 
     @property
     def connected(self) -> bool:

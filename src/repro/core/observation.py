@@ -121,6 +121,12 @@ class ObservationProbe:
         self.os_adapter: Optional[Callable[[], Dict[str, Any]]] = None
         #: Runtime-provided middleware extras (e.g. live queue depths).
         self.middleware_adapter: Optional[Callable[[], Dict[str, Any]]] = None
+        #: Live metrics plane, attached by
+        #: :func:`repro.metrics.telemetry.enable_telemetry`.  Unlike the
+        #: timers above, telemetry is *not* subject to ``sample_every``:
+        #: contract checking needs every message, and the streaming
+        #: histograms are cheap enough to afford it.
+        self.telemetry = None
 
     # -- deferred-sample folding ----------------------------------------------
 
@@ -210,6 +216,29 @@ class ObservationProbe:
             return  # observation traffic must not observe itself
         if self._should_time():
             self._mw_samples.append((_SEND, iface, duration_ns))
+        tel = self.telemetry
+        if tel is not None:
+            # ComponentTelemetry.on_send, inlined: the telemetry plane
+            # is always-on, and a per-event call into another module's
+            # cold code measurably breaks the 1.05x overhead budget of
+            # ``bench metrics_overhead`` (the samples appended here are
+            # folded in batch at window rolls, see ComponentTelemetry).
+            reg = tel.registry
+            sent = message.sent_at_us
+            ts = sent * 1_000 if sent is not None else reg.last_ns
+            if ts > reg.last_ns:
+                reg.last_ns = ts
+            if ts >= reg._next_roll_ns:
+                reg.advance(ts)
+            entry = tel._send_cache.get(iface)
+            if entry is None:
+                entry = tel._make_send(iface)
+            if message.kind == DATA:
+                entry[3].append((duration_ns, message.size_bytes))
+                if tel.checker is not None:
+                    tel.checker.on_send(iface, message, ts)
+            else:
+                entry[3].append((duration_ns, -1))
         if message.kind == DATA:
             self.data_sends.inc()
             if self._track_bytes():
@@ -229,13 +258,31 @@ class ObservationProbe:
         """Account one receive operation (kind-aware)."""
         if message.kind == OBSERVATION:
             return
+        if now_us is not None and message.sent_at_us is not None:
+            # Clamp at zero: cross-CPU local clocks may run ahead.
+            latency_ns = max(0, (now_us - message.sent_at_us)) * 1_000
+        else:
+            latency_ns = -1
         if self._should_time():
-            if now_us is not None and message.sent_at_us is not None:
-                # Clamp at zero: cross-CPU local clocks may run ahead.
-                latency_ns = max(0, (now_us - message.sent_at_us)) * 1_000
-            else:
-                latency_ns = -1
             self._mw_samples.append((_RECV, iface, duration_ns, latency_ns))
+        tel = self.telemetry
+        if tel is not None:
+            # ComponentTelemetry.on_receive, inlined (see record_send).
+            reg = tel.registry
+            ts = now_us * 1_000 if now_us is not None else reg.last_ns
+            if ts > reg.last_ns:
+                reg.last_ns = ts
+            if ts >= reg._next_roll_ns:
+                reg.advance(ts)
+            entry = tel._recv_cache.get(iface)
+            if entry is None:
+                entry = tel._make_recv(iface)
+            if message.kind == DATA:
+                entry[4].append((duration_ns, latency_ns, message.size_bytes))
+                if tel.checker is not None:
+                    tel.checker.on_receive(iface, message, latency_ns, ts)
+            else:
+                entry[4].append((duration_ns, -1, -1))
         if message.kind == DATA:
             self.data_receives.inc()
             if self._track_bytes():
@@ -255,12 +302,18 @@ class ObservationProbe:
     def record_fault(self, kind: str) -> None:
         """Account one fault event (injected or organic) by kind."""
         self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+        if self.telemetry is not None:
+            self.telemetry.on_fault(kind)
 
-    def record_restart(self, downtime_ns: int) -> None:
+    def record_restart(self, downtime_ns: int, now_ns: Optional[int] = None) -> None:
         """Account a supervised restart and its failure-to-restart
-        downtime -- the sample stream behind the MTTR report."""
+        downtime -- the sample stream behind the MTTR report.  ``now_ns``
+        (sim time of the restart) places the sample in the right
+        telemetry window, making MTTR a live series."""
         self.restarts += 1
         self.recovery_ns.append(int(downtime_ns))
+        if self.telemetry is not None:
+            self.telemetry.on_restart(downtime_ns, now_ns)
 
     def record_checkpoint(self, nbytes: int, duration_ns: int) -> None:
         """Account one committed recovery checkpoint: snapshot size and
@@ -268,14 +321,20 @@ class ObservationProbe:
         self.checkpoints += 1
         self.checkpoint_bytes += int(nbytes)
         self.checkpoint_ns.append(int(duration_ns))
+        if self.telemetry is not None:
+            self.telemetry.on_checkpoint(nbytes)
 
-    def record_replay(self) -> None:
+    def record_replay(self, now_ns: Optional[int] = None) -> None:
         """Account one message replayed to this component after a restart."""
         self.replays += 1
+        if self.telemetry is not None:
+            self.telemetry.on_replay(now_ns)
 
-    def record_dedup(self) -> None:
+    def record_dedup(self, now_ns: Optional[int] = None) -> None:
         """Account one duplicate discarded by delivery-sequence dedup."""
         self.dedups += 1
+        if self.telemetry is not None:
+            self.telemetry.on_dedup(now_ns)
 
     # -- reports --------------------------------------------------------------
 
@@ -323,11 +382,13 @@ class ObservationProbe:
         }
         if self.middleware_adapter is not None:
             data.update(self.middleware_adapter())
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry.interface_summary()
         return data
 
     def _application_report(self) -> Dict[str, Any]:
         recovery = self.recovery_ns
-        return {
+        report = {
             "structure": self.component.interfaces(),
             "sends": self.data_sends.snapshot(),
             "receives": self.data_receives.snapshot(),
@@ -350,6 +411,11 @@ class ObservationProbe:
                 "deduped": self.dedups,
             },
         }
+        if self.telemetry is not None:
+            summary = self.telemetry.contract_summary()
+            if summary:
+                report["contracts"] = summary
+        return report
 
 
 def observation_service_behavior(ctx, probe: ObservationProbe):

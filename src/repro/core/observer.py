@@ -113,3 +113,28 @@ class ObserverComponent(Component):
             raise ObservationError(
                 f"no {level!r} report collected for {component!r}"
             ) from None
+
+    def contract_violations(self) -> Dict[str, Any]:
+        """Aggregate contract-violation counts across every collected
+        application report (telemetry must be enabled for any to exist).
+
+        Returns ``{"total": n, "by_component": {component: {iface:
+        {kind: count}}}}`` -- the ``repro observe`` summary shape.
+        """
+        total = 0
+        by_component: Dict[str, Any] = {}
+        for (component, level), data in sorted(self.reports.items()):
+            if level != "application":
+                continue
+            contracts = data.get("contracts")
+            if not contracts:
+                continue
+            total += contracts.get("violations", 0)
+            by_iface = contracts.get("violations_by_interface", {})
+            if by_iface or contracts.get("contracts"):
+                by_component[component] = {
+                    "contracts": contracts.get("contracts", {}),
+                    "violations": contracts.get("violations", 0),
+                    "by_interface": by_iface,
+                }
+        return {"total": total, "by_component": by_component}

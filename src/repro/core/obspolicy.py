@@ -34,12 +34,18 @@ class ObservationPolicy:
         are unaffected.
     track_bytes:
         Keep byte totals per component.
+    telemetry:
+        Allow :func:`repro.metrics.telemetry.enable_telemetry` to attach
+        live instruments (and contract checking) to this component's
+        probe.  Telemetry is never sampled -- contracts must see every
+        message -- so the only way to shed its cost is to turn it off.
     """
 
     levels: FrozenSet[str] = frozenset(LEVELS)
     time_middleware: bool = True
     sample_every: int = 1
     track_bytes: bool = True
+    telemetry: bool = True
 
     def __post_init__(self) -> None:
         unknown = set(self.levels) - set(LEVELS)
@@ -64,6 +70,7 @@ class ObservationPolicy:
             levels=frozenset({APPLICATION_LEVEL}),
             time_middleware=False,
             track_bytes=False,
+            telemetry=False,
         )
 
     @classmethod

@@ -126,6 +126,27 @@ class EmbxTransport:
         #: receiving CPU through the shared interrupt controller.
         self.interrupts_by_cpu: dict[int, int] = {}
 
+    # -- telemetry -------------------------------------------------------------
+
+    def stamp_metrics(self, registry) -> None:
+        """Stamp the transport's live state into a
+        :class:`~repro.metrics.telemetry.MetricsRegistry` as gauges:
+        per-distributed-object traffic and depth, transport totals, and
+        interrupts per owner CPU.  Gauges (not counters) because these
+        are point-in-time readings of transport-owned state, sampled at
+        collection time rather than streamed per event."""
+        ts = registry.last_ns
+        for name in sorted(self.objects):
+            obj = self.objects[name]
+            registry.gauge("embx_object_sends", object=name).set(obj.sends, ts)
+            registry.gauge("embx_object_receives", object=name).set(obj.receives, ts)
+            registry.gauge("embx_object_peak_depth", object=name).set(obj.peak_depth, ts)
+            registry.gauge("embx_object_queue_depth", object=name).set(len(obj.queue), ts)
+        registry.gauge("embx_sends").set(self.sends, ts)
+        registry.gauge("embx_receives").set(self.receives, ts)
+        for cpu in sorted(self.interrupts_by_cpu):
+            registry.gauge("embx_interrupts", cpu=cpu).set(self.interrupts_by_cpu[cpu], ts)
+
     # -- object lifecycle ------------------------------------------------------
 
     def create_object(

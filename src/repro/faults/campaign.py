@@ -29,10 +29,12 @@ from typing import Any, Dict, List
 
 import numpy as np
 
+from repro.core.contracts import InterfaceContract
 from repro.core.observation import APPLICATION_LEVEL
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.supervisor import RestartPolicy, Supervisor
+from repro.metrics.telemetry import collect_telemetry, enable_telemetry
 from repro.mjpeg.components import BATCHES_PER_IMAGE, build_smp_assembly, frames_digest
 from repro.mjpeg.stream import generate_stream
 from repro.recovery import RecoveryManager
@@ -42,6 +44,39 @@ from repro.trace.tracer import enable_tracing
 
 #: IDCT workers of the SMP assembly (crash victims, round-robin).
 _IDCTS = ("IDCT_1", "IDCT_2", "IDCT_3")
+
+#: Per-message delivery deadline (microseconds) attached to the decode
+#: pipeline's inbound interfaces when the campaign runs with telemetry.
+#: Chosen just above the fault-free latency envelope of the 8-image
+#: stream (data-message max ~5.84 ms, seed-independent), so violations
+#: are *fault-induced*: plain drops and crashes never add latency, but
+#: exactly-once recovery replays carry their original send timestamp
+#: through the restart backoff and land at 7.1-8.4 ms -- every campaign
+#: seed trips the deadline under ``--recover``, a clean run never does.
+DEADLINE_US = 6_500
+
+
+def attach_campaign_contracts(app, deadline_us: int = DEADLINE_US) -> None:
+    """Attach the campaign's QoS contracts to the decode pipeline.
+
+    Every IDCT input gets a per-message delivery deadline; the Reorder
+    input additionally requires per-sender ordering, which injected
+    duplicates violate unless exactly-once recovery dedups them first --
+    so ordering violations count the duplicates that *reached* the
+    application.
+    """
+    deadline_ns = deadline_us * 1_000
+    for name in _IDCTS:
+        comp = app.components[name]
+        for prov in comp.functional_provided():
+            comp.set_contract(
+                prov.name,
+                InterfaceContract(deadline_ns=deadline_ns, name="idct-input"),
+            )
+    app.components["Reorder"].set_contract(
+        "idctReorder",
+        InterfaceContract(deadline_ns=deadline_ns, ordered=True, name="reorder-input"),
+    )
 
 
 @dataclass
@@ -67,6 +102,12 @@ class CampaignResult:
     recovery: Dict[str, Any] = field(default_factory=dict)
     frames_digest: str = ""
     reference_frames_digest: str = ""
+    #: Merged telemetry registry of the chaos run (None when disabled).
+    metrics: Any = None
+    #: Contract violations observed live, keyed ``kind`` -> count.
+    contract_violations: Dict[str, int] = field(default_factory=dict)
+    #: ``contract``-category trace events emitted by the checkers.
+    contract_trace_events: int = 0
 
     @property
     def ok(self) -> bool:
@@ -104,6 +145,8 @@ class CampaignResult:
             "recovery": self.recovery,
             "frames_digest": self.frames_digest,
             "reference_frames_digest": self.reference_frames_digest,
+            "contract_violations": self.contract_violations,
+            "contract_trace_events": self.contract_trace_events,
         }
 
 
@@ -187,6 +230,8 @@ def run_chaos_campaign(
     crashes: int = 3,
     max_attempts: int = 5,
     recover: bool = False,
+    metrics: bool = True,
+    deadline_us: int = DEADLINE_US,
 ) -> CampaignResult:
     """Run one seeded chaos campaign; see the module docstring.
 
@@ -194,6 +239,14 @@ def run_chaos_campaign(
     installed alongside the supervisor, upgrading the claim from
     "survivors are bit-exact" to exactly-once: the complete frame set is
     reproduced bit-identically despite crashes, drops and duplicates.
+
+    With ``metrics=True`` (the default) the chaos run carries the live
+    telemetry plane: per-interface latency histograms, restart/MTTR
+    series, and the QoS contracts of :func:`attach_campaign_contracts`
+    checked message-by-message.  Deadline violations surface recovery
+    replays that arrive past ``deadline_us``; ordering violations count
+    injected duplicates that reached the application (zero under
+    exactly-once recovery, which dedups them at admission).
     """
     stream = generate_stream(n_images, 96, 96, quality=75, seed=seed)
     reference = _run_reference(stream)
@@ -206,9 +259,13 @@ def run_chaos_campaign(
         with_observer=True,
         drop_incomplete=True,
     )
+    if metrics:
+        attach_campaign_contracts(app, deadline_us)
     rt = SmpSimRuntime()
     rt.deploy(app)
     buffer = enable_tracing(rt)
+    if metrics:
+        enable_telemetry(rt)  # after tracing: checkers emit trace events
     injector = FaultInjector(plan).install(rt)
     recovery = RecoveryManager().install(rt) if recover else None
     supervisor = Supervisor(
@@ -239,6 +296,15 @@ def run_chaos_campaign(
     mttr_us = sum(mttr_samples) // len(mttr_samples) if mttr_samples else 0
 
     fault_events = [e for e in buffer.events() if e.category == "fault"]
+    contract_events = [e for e in buffer.events() if e.category == "contract"]
+
+    registry = collect_telemetry(rt) if metrics else None
+    violations: Dict[str, int] = {}
+    if registry is not None:
+        for kind, name, labels, inst in registry.instruments():
+            if kind == "counter" and name == "contract_violations_total" and inst.value:
+                key = labels["kind"]
+                violations[key] = violations.get(key, 0) + inst.value
 
     digest = hashlib.sha256()
     digest.update(json.dumps(plan.describe(), sort_keys=True).encode())
@@ -269,4 +335,7 @@ def run_chaos_campaign(
         recovery=recovery.report() if recovery is not None else {},
         frames_digest=_frames_digest(delivered),
         reference_frames_digest=_frames_digest(reference),
+        metrics=registry,
+        contract_violations=violations,
+        contract_trace_events=len(contract_events),
     )

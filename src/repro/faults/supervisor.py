@@ -218,7 +218,7 @@ class Supervisor:
                     # before the behaviour respawns (see repro.recovery).
                     recovery.on_restart(cont)
                 if probe is not None:
-                    probe.record_restart(ctx.now_ns() - failed_at)
+                    probe.record_restart(ctx.now_ns() - failed_at, now_ns=ctx.now_ns())
                 comp.state = ComponentState.RUNNING
                 # loop: a *fresh* behaviour generator (resuming from the
                 # restored checkpoint when recovery is installed); mailbox

@@ -3,5 +3,44 @@
 from repro.metrics.asciichart import render_xy
 from repro.metrics.stats import Counter, MemoryStats, Timer
 from repro.metrics.table import Table
+from repro.metrics.telemetry import (
+    ComponentTelemetry,
+    Gauge,
+    Log2Histogram,
+    MetricsRegistry,
+    collect_telemetry,
+    enable_telemetry,
+    merge_registries,
+)
+from repro.metrics.export import (
+    metrics_digest,
+    read_metrics,
+    registry_from_payload,
+    registry_payload,
+    to_prometheus,
+    write_metrics,
+)
+from repro.metrics.dashboard import iter_frames, render_dashboard
 
-__all__ = ["Counter", "MemoryStats", "Table", "Timer", "render_xy"]
+__all__ = [
+    "ComponentTelemetry",
+    "Counter",
+    "Gauge",
+    "Log2Histogram",
+    "MemoryStats",
+    "MetricsRegistry",
+    "Table",
+    "Timer",
+    "collect_telemetry",
+    "enable_telemetry",
+    "iter_frames",
+    "merge_registries",
+    "metrics_digest",
+    "read_metrics",
+    "registry_from_payload",
+    "registry_payload",
+    "render_dashboard",
+    "render_xy",
+    "to_prometheus",
+    "write_metrics",
+]

@@ -1,0 +1,893 @@
+"""The live telemetry plane: streaming instruments on the sim clock.
+
+The paper's observer is post-mortem: probes accumulate, the observer
+collects at the end.  This module makes observation *live* without
+giving up the "no per-sample storage" constraint of an embedded target:
+
+- :class:`Log2Histogram` -- fixed 64-bucket log2 streaming histogram
+  (p50/p90/p99/p999 by bucket interpolation, clamped to the tracked
+  min/max so single-sample and constant streams report exactly).
+  Merging is bucketwise addition, so per-shard histograms merge
+  **bucket-exact** into the single-kernel histogram.
+- :class:`Gauge` -- last-write-wins point-in-time value.
+- :class:`MetricsRegistry` -- instruments keyed by ``name{labels}``,
+  plus a windowed time series: the registry snapshots *deltas* on the
+  sim clock at fixed window boundaries (``index = ts // window_ns``),
+  so per-shard windows merge by index exactly like trace buffers merge
+  by ``(ts, shard, seq)``.  Window ids draw from shard ranges
+  (:func:`repro.sim.shard.shard_window_source`) so merged series never
+  collide, mirroring span ids.
+- :class:`ComponentTelemetry` -- the per-component adapter fed by the
+  :class:`~repro.core.observation.ObservationProbe` hot-path hooks; it
+  also drives the component's contract checker
+  (:mod:`repro.core.contracts`) from the same stream.
+- :func:`enable_telemetry` / :func:`collect_telemetry` -- the runtime
+  wiring, shaped exactly like ``enable_tracing`` / ``merge_buffers``:
+  call after ``deploy()`` (and after ``enable_tracing`` when you want
+  contract violations in the trace), collect after ``wait()``.
+
+Determinism contract: on the simulated runtimes every instrument fed
+from middleware hooks is a pure function of virtual time, so a pinned
+placement produces byte-identical registries for every shard count --
+the ``metrics sha256`` CI gate (see :mod:`repro.metrics.export`).
+"""
+
+from __future__ import annotations
+
+import threading
+from itertools import count
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.metrics.stats import Counter
+
+#: Fixed bucket count: bucket 0 holds zeros, bucket b >= 1 holds values
+#: in [2^(b-1), 2^b - 1].  63 value buckets cover every int64 duration.
+N_BUCKETS = 64
+
+#: Default window width on the sim clock (5 ms of virtual time).
+DEFAULT_WINDOW_NS = 5_000_000
+
+#: Reported quantiles (fraction, snapshot key).
+QUANTILES = ((0.50, "p50_ns"), (0.90, "p90_ns"), (0.99, "p99_ns"), (0.999, "p999_ns"))
+
+
+def bucket_of(value: int) -> int:
+    """Bucket index of a non-negative integer sample."""
+    if value <= 0:
+        return 0
+    b = value.bit_length()
+    return b if b < N_BUCKETS else N_BUCKETS - 1
+
+
+def bucket_bounds(index: int) -> Tuple[int, int]:
+    """Inclusive ``(lo, hi)`` value range of one bucket."""
+    if index <= 0:
+        return (0, 0)
+    return (1 << (index - 1), (1 << index) - 1)
+
+
+class Log2Histogram:
+    """Streaming log2-bucket histogram: no per-sample storage, exact
+    bucketwise merge."""
+
+    kind = "histogram"
+
+    __slots__ = (
+        "name", "counts", "count", "total", "min_value", "max_value",
+        "delta_counts", "delta_count", "delta_total",
+    )
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.counts: List[int] = [0] * N_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.min_value: Optional[int] = None
+        self.max_value: Optional[int] = None
+        # Samples since the last window cut, kept *pre-aggregated* so
+        # closing a window takes this sparse dict instead of copying
+        # and diffing all 64 cumulative buckets per histogram per roll
+        # (the dominant telemetry cost at ~100 live instruments).
+        self.delta_counts: Dict[int, int] = {}
+        self.delta_count = 0
+        self.delta_total = 0
+
+    def observe(self, value: int) -> None:
+        """Record one sample (negative samples clamp to 0)."""
+        if value < 0:
+            value = 0
+        b = value.bit_length()
+        if b >= N_BUCKETS:
+            b = N_BUCKETS - 1
+        self.counts[b] += 1
+        self.count += 1
+        self.total += value
+        dc = self.delta_counts
+        dc[b] = dc.get(b, 0) + 1
+        self.delta_count += 1
+        self.delta_total += value
+        mn = self.min_value
+        if mn is None or value < mn:
+            self.min_value = value
+        mx = self.max_value
+        if mx is None or value > mx:
+            self.max_value = value
+
+    def take_delta(self) -> Optional[Dict[str, Any]]:
+        """The window delta accumulated since the last cut (cleared), as
+        export-ready data; ``None`` when nothing was observed."""
+        if not self.delta_count:
+            return None
+        delta = {
+            "kind": "histogram",
+            "count": self.delta_count,
+            "total_ns": self.delta_total,
+            "buckets": {_BUCKET_KEYS[b]: c for b, c in sorted(self.delta_counts.items())},
+        }
+        self.delta_counts = {}
+        self.delta_count = 0
+        self.delta_total = 0
+        return delta
+
+    def merge(self, other: "Log2Histogram") -> None:
+        """Bucketwise addition -- the shard-merge primitive."""
+        if other.count == 0:
+            return
+        counts = self.counts
+        for b, c in enumerate(other.counts):
+            if c:
+                counts[b] += c
+        self.count += other.count
+        self.total += other.total
+        if self.min_value is None or (other.min_value is not None and other.min_value < self.min_value):
+            self.min_value = other.min_value
+        if self.max_value is None or (other.max_value is not None and other.max_value > self.max_value):
+            self.max_value = other.max_value
+
+    def percentile(self, q: float) -> float:
+        """Quantile by cumulative bucket walk with linear interpolation
+        inside the bucket, clamped to the tracked min/max (so an empty
+        histogram reports 0 and a single sample reports itself exactly)."""
+        n = self.count
+        if n == 0:
+            return 0.0
+        target = q * n
+        if target < 1.0:
+            target = 1.0
+        cum = 0
+        for b, c in enumerate(self.counts):
+            if not c:
+                continue
+            prev = cum
+            cum += c
+            if cum >= target:
+                lo, hi = bucket_bounds(b)
+                value = lo + (target - prev) / c * (hi - lo)
+                if self.min_value is not None and value < self.min_value:
+                    value = float(self.min_value)
+                if self.max_value is not None and value > self.max_value:
+                    value = float(self.max_value)
+                return value
+        return float(self.max_value or 0)  # pragma: no cover - cum covers n
+
+    def quantiles(self) -> Dict[str, float]:
+        """The reported quantile set (see :data:`QUANTILES`)."""
+        return {key: self.percentile(q) for q, key in QUANTILES}
+
+    def state(self) -> Tuple[int, int, Tuple[int, ...]]:
+        """Cumulative integer state (for window deltas and digests)."""
+        return (self.count, self.total, tuple(self.counts))
+
+    def reset(self) -> None:
+        """Zero the histogram in place (registry ``clear()``)."""
+        self.counts = [0] * N_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.min_value = None
+        self.max_value = None
+        self.delta_counts = {}
+        self.delta_count = 0
+        self.delta_total = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready cumulative snapshot, sparse buckets."""
+        snap: Dict[str, Any] = {
+            "count": self.count,
+            "total_ns": self.total,
+            "min_ns": self.min_value if self.min_value is not None else 0,
+            "max_ns": self.max_value if self.max_value is not None else 0,
+            "buckets": {str(b): c for b, c in enumerate(self.counts) if c},
+        }
+        snap.update(self.quantiles())
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Log2Histogram {self.name} n={self.count}>"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, busy time): last write wins."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "value", "ts_ns")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value: float = 0
+        self.ts_ns = 0
+
+    def set(self, value: float, ts_ns: int = 0) -> None:
+        """Stamp the current value (``ts_ns`` orders merged gauges)."""
+        self.value = value
+        self.ts_ns = ts_ns
+
+    def merge(self, other: "Gauge") -> None:
+        """Later stamp wins (ties keep ours -- shard order)."""
+        if other.ts_ns > self.ts_ns:
+            self.value = other.value
+            self.ts_ns = other.ts_ns
+
+    def reset(self) -> None:
+        """Zero the gauge in place (registry ``clear()``)."""
+        self.value = 0
+        self.ts_ns = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready snapshot."""
+        return {"value": self.value, "ts_ns": self.ts_ns}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Gauge {self.name}={self.value}>"
+
+
+def instrument_id(name: str, labels: Dict[str, Any]) -> str:
+    """Canonical ``name{k=v,...}`` id (labels sorted; stable across runs)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+#: Bucket-index keys of window/export payloads, precomputed: the window
+#: cut runs on the per-event hot path's slow branch and must not pay 64
+#: ``str()`` calls per changed histogram.
+_BUCKET_KEYS = tuple(str(b) for b in range(N_BUCKETS))
+
+
+class Window:
+    """One closed window of the series: instrument *deltas* over
+    ``[index * window_ns, (index + 1) * window_ns)`` of the sim clock."""
+
+    __slots__ = ("id", "index", "start_ns", "end_ns", "shard", "data")
+
+    def __init__(self, wid: int, index: int, window_ns: int, shard: int,
+                 data: Dict[str, Dict[str, Any]]) -> None:
+        self.id = wid
+        self.index = index
+        self.start_ns = index * window_ns
+        self.end_ns = (index + 1) * window_ns
+        self.shard = shard
+        self.data = data
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "id": self.id,
+            "index": self.index,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "shard": self.shard,
+            "data": self.data,
+        }
+
+
+class MetricsRegistry:
+    """Instruments plus their windowed delta series on the sim clock.
+
+    ``window_ids`` is a zero-arg *factory* returning a fresh id iterator
+    (default counts from 1); keeping it a factory lets :meth:`clear`
+    restart the numbering exactly like a fresh registry -- the
+    ``TraceBuffer.clear()`` parity contract (repeated campaigns in one
+    process must produce identical series).
+    """
+
+    def __init__(
+        self,
+        shard: int = 0,
+        window_ns: int = DEFAULT_WINDOW_NS,
+        window_ids: Optional[Callable[[], Iterable[int]]] = None,
+    ) -> None:
+        if window_ns <= 0:
+            raise ValueError(f"window_ns must be positive, got {window_ns}")
+        self.shard = shard
+        self.window_ns = window_ns
+        self._window_id_factory = window_ids or (lambda: count(1))
+        self._window_ids = iter(self._window_id_factory())
+        #: key -> (kind, name, labels, instrument)
+        self._entries: Dict[tuple, Tuple[str, str, Dict[str, Any], Any]] = {}
+        #: key -> canonical instrument id (built once at registration;
+        #: the window cut must not re-join label strings per roll).
+        self._iids: Dict[tuple, str] = {}
+        self.windows: List[Window] = []
+        self._window_index: Optional[int] = None
+        #: Sim time at which the open window ends; the per-sample fast
+        #: path is one compare against it (no division).  -1 = no window
+        #: open yet, so the first sample takes the slow path.
+        self._next_roll_ns = -1
+        self._last: Dict[tuple, Any] = {}
+        self._roll_hooks: List[Callable[[int, int, int, bool], None]] = []
+        # Only the slow path (closing a window) locks; the per-sample
+        # fast path is a compare.  Native-runtime threads race only on
+        # the roll, never on their own (component-labeled) instruments.
+        self._lock = threading.Lock()
+        self.last_ns = 0
+
+    # -- instruments ---------------------------------------------------------
+
+    def _get(self, kind: str, factory, name: str, labels: Dict[str, Any]):
+        key = (name, tuple(sorted(labels.items())))
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._entries[key] = (kind, name, dict(labels), factory(name))
+            self._iids[key] = instrument_id(name, labels)
+        return entry[3]
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get-or-create a labeled counter."""
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get-or-create a labeled gauge."""
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Log2Histogram:
+        """Get-or-create a labeled log2 histogram."""
+        return self._get("histogram", Log2Histogram, name, labels)
+
+    def instruments(self) -> List[Tuple[str, str, Dict[str, Any], Any]]:
+        """All ``(kind, name, labels, instrument)`` entries, id-sorted."""
+        return sorted(
+            self._entries.values(), key=lambda e: instrument_id(e[1], e[2])
+        )
+
+    # -- windows --------------------------------------------------------------
+
+    def add_roll_hook(self, hook: Callable[[int, int, int, bool], None]) -> None:
+        """Register ``hook(index, start_ns, end_ns, final)`` called as a
+        window closes, *before* its deltas are cut -- counters the hook
+        bumps (e.g. contract violations) land in the closing window."""
+        self._roll_hooks.append(hook)
+
+    def advance(self, now_ns: int) -> None:
+        """Move the clock; closes windows the time has passed.  The
+        per-sample fast path is two compares (no division)."""
+        if now_ns > self.last_ns:
+            self.last_ns = now_ns
+        if now_ns < self._next_roll_ns:
+            return  # inside (or behind) the open window
+        idx = now_ns // self.window_ns
+        cur = self._window_index
+        if cur is None:
+            self._window_index = idx
+            self._next_roll_ns = (idx + 1) * self.window_ns
+            return
+        if idx <= cur:
+            return  # late stragglers fold into the open window
+        self._roll_to(idx)
+
+    def _roll_to(self, idx: int) -> None:
+        with self._lock:
+            cur = self._window_index
+            if cur is None or idx <= cur:
+                return
+            # Every delta accumulated since the last cut was observed
+            # while window `cur` was open (events advance before they
+            # observe), so the gap windows in between are empty.
+            self._close_window(cur, final=False)
+            self._window_index = idx
+            self._next_roll_ns = (idx + 1) * self.window_ns
+
+    def finish(self, now_ns: Optional[int] = None) -> None:
+        """Close the open (partial) window at end of run."""
+        if now_ns is not None:
+            self.advance(now_ns)
+        with self._lock:
+            cur = self._window_index
+            if cur is None:
+                return
+            self._close_window(cur, final=True)
+
+    def _close_window(self, index: int, final: bool) -> None:
+        start = index * self.window_ns
+        for hook in self._roll_hooks:
+            hook(index, start, start + self.window_ns, final)
+        data: Dict[str, Dict[str, Any]] = {}
+        iids = self._iids
+        last_state = self._last
+        for key, (kind, _name, _labels, inst) in list(self._entries.items()):
+            if kind == "counter":
+                last = last_state.get(key, 0)
+                delta = inst.value - last
+                if delta:
+                    last_state[key] = inst.value
+                    data[iids[key]] = {"kind": "counter", "inc": delta}
+            elif kind == "histogram":
+                # Histograms pre-aggregate their own window delta (see
+                # Log2Histogram.take_delta): the cut is one sparse-dict
+                # handoff, not a 64-bucket copy-and-diff.
+                delta = inst.take_delta()
+                if delta is not None:
+                    data[iids[key]] = delta
+            # Gauges are point-in-time: read live, never windowed.
+        if data:
+            self.windows.append(
+                Window(next(self._window_ids), index, self.window_ns, self.shard, data)
+            )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Reset to the state of a *fresh* registry: instruments zeroed
+        in place (cached references stay valid), windows dropped, window
+        numbering restarted -- the :meth:`TraceBuffer.clear` twin, so
+        repeated campaigns in one process produce identical series."""
+        for _kind, _name, _labels, inst in self._entries.values():
+            inst.reset()
+        self.windows.clear()
+        self._window_ids = iter(self._window_id_factory())
+        self._window_index = None
+        self._next_roll_ns = -1
+        self._last.clear()
+        self.last_ns = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready cumulative view: instruments plus the window series."""
+        instruments = {}
+        for kind, name, labels, inst in self.instruments():
+            snap = {"kind": kind, "name": name, "labels": labels}
+            value = inst.snapshot()
+            if isinstance(value, dict):
+                snap.update(value)
+            else:  # plain Counter snapshot
+                snap["value"] = value
+            instruments[instrument_id(name, labels)] = snap
+        return {
+            "window_ns": self.window_ns,
+            "shard": self.shard,
+            "instruments": instruments,
+            "windows": [w.to_dict() for w in self.windows],
+        }
+
+
+def _merge_window_data(into: Dict[str, Dict[str, Any]], data: Dict[str, Dict[str, Any]]) -> None:
+    for iid, delta in data.items():
+        cur = into.get(iid)
+        if cur is None:
+            cur = dict(delta)
+            if delta["kind"] == "histogram":
+                cur["buckets"] = dict(delta["buckets"])
+            into[iid] = cur
+            continue
+        if delta["kind"] == "counter":
+            cur["inc"] += delta["inc"]
+        else:
+            cur["count"] += delta["count"]
+            cur["total_ns"] += delta["total_ns"]
+            buckets = cur["buckets"]
+            for b, c in delta["buckets"].items():
+                buckets[b] = buckets.get(b, 0) + c
+
+
+def merge_registries(parts: List[MetricsRegistry]) -> MetricsRegistry:
+    """K-way merge of per-shard registries into one.
+
+    Instruments merge by id (bucketwise for histograms -- the property
+    the shard-invariance tests pin); windows merge by ``(index, shard,
+    id)`` order, same-index windows combine across shards, and ids are
+    re-numbered globally -- exactly the
+    :func:`repro.trace.tracer.merge_buffers` contract.
+    """
+    if not parts:
+        raise ValueError("nothing to merge")
+    if len({p.window_ns for p in parts}) != 1:
+        raise ValueError("cannot merge registries with different window_ns")
+    merged = MetricsRegistry(shard=0, window_ns=parts[0].window_ns)
+    for part in parts:
+        for kind, name, labels, inst in part.instruments():
+            if kind == "counter":
+                merged.counter(name, **labels).inc(inst.value)
+            elif kind == "gauge":
+                merged.gauge(name, **labels).merge(inst)
+            else:
+                merged.histogram(name, **labels).merge(inst)
+        if part.last_ns > merged.last_ns:
+            merged.last_ns = part.last_ns
+    tagged = sorted(
+        ((w.index, part.shard, w.id, w) for part in parts for w in part.windows),
+        key=lambda entry: entry[:3],
+    )
+    by_index: Dict[int, Dict[str, Dict[str, Any]]] = {}
+    order: List[int] = []
+    for index, _shard, _wid, window in tagged:
+        if index not in by_index:
+            by_index[index] = {}
+            order.append(index)
+        _merge_window_data(by_index[index], window.data)
+    for index in order:
+        merged.windows.append(
+            Window(next(merged._window_ids), index, merged.window_ns, 0, by_index[index])
+        )
+    return merged
+
+
+class ComponentTelemetry:
+    """Per-component adapter between the observation probe's hot-path
+    hooks and a shared :class:`MetricsRegistry` (plus the component's
+    contract checker, when any interface carries a contract).
+
+    The per-message hot path follows the probe's own deferral idiom
+    (see :meth:`ObservationProbe.record_send`): it only moves the
+    registry clock (two compares) and appends one pending tuple to the
+    interface's cache entry; the histogram/counter folds run batched in
+    :meth:`_drain` -- as a roll hook when a window closes (before its
+    deltas are cut, so every sample lands in the window it was observed
+    in) and before any read.  The fold binds each instrument's state to
+    locals once per interface, so per-sample cost is pure int math:
+    scattered per-event instrument updates measured ~2x slower against
+    the 1.05x budget of ``bench metrics_overhead``.  Contract checks
+    stay per-event: violations are *live* by design.
+    """
+
+    __slots__ = (
+        "registry", "component", "checker",
+        "_send_cache", "_recv_cache",
+        "_restarts", "_restart_hist", "_replays", "_dedups",
+        "_checkpoints", "_checkpoint_bytes", "_faults",
+    )
+
+    def __init__(self, registry: MetricsRegistry, component: str, checker=None) -> None:
+        self.registry = registry
+        self.component = component
+        self.checker = checker
+        # iface -> [duration hist, msg counter, byte counter, pending]
+        # (receive adds a latency histogram before pending).  Pending
+        # send samples are (duration_ns, size_bytes), receive samples
+        # (duration_ns, latency_ns, size_bytes); size_bytes == -1 marks
+        # control messages (duration-only, no counters, no latency).
+        self._send_cache: Dict[str, list] = {}
+        self._recv_cache: Dict[str, list] = {}
+        # Drain before each window cut.  Registered here, so it runs
+        # before any contract checker's on_window (attached after
+        # construction): rate checks see fully folded counters.
+        registry.add_roll_hook(self._on_roll)
+        self._restarts = registry.counter("restarts_total", component=component)
+        self._restart_hist = registry.histogram("restart_downtime_ns", component=component)
+        self._replays = registry.counter("replays_total", component=component)
+        self._dedups = registry.counter("dedups_total", component=component)
+        self._checkpoints = registry.counter("checkpoints_total", component=component)
+        self._checkpoint_bytes = registry.counter("checkpoint_bytes_total", component=component)
+        self._faults: Dict[str, Counter] = {}
+
+    def _make_send(self, iface: str) -> list:
+        reg, c = self.registry, self.component
+        entry = self._send_cache[iface] = [
+            reg.histogram("send_duration_ns", component=c, iface=iface),
+            reg.counter("messages_sent_total", component=c, iface=iface),
+            reg.counter("bytes_sent_total", component=c, iface=iface),
+            [],
+        ]
+        return entry
+
+    def _make_recv(self, iface: str) -> list:
+        reg, c = self.registry, self.component
+        entry = self._recv_cache[iface] = [
+            reg.histogram("receive_duration_ns", component=c, iface=iface),
+            reg.counter("messages_received_total", component=c, iface=iface),
+            reg.counter("bytes_received_total", component=c, iface=iface),
+            reg.histogram("delivery_latency_ns", component=c, iface=iface),
+            [],
+        ]
+        return entry
+
+    # -- middleware stream (probe hot path) ----------------------------------
+
+    def on_send(self, iface: str, message, duration_ns: int) -> None:
+        """One send: clock, pending sample, live contract check."""
+        sent = message.sent_at_us
+        reg = self.registry
+        ts = sent * 1_000 if sent is not None else reg.last_ns
+        if ts > reg.last_ns:
+            reg.last_ns = ts
+        if ts >= reg._next_roll_ns:
+            # Crossing a window boundary drains the pending samples into
+            # the closing window *before* this one is appended.
+            reg.advance(ts)
+        entry = self._send_cache.get(iface)
+        if entry is None:
+            entry = self._make_send(iface)
+        if message.kind == "data":
+            entry[3].append((duration_ns, message.size_bytes))
+            if self.checker is not None:
+                self.checker.on_send(iface, message, ts)
+        else:
+            entry[3].append((duration_ns, -1))
+
+    def on_receive(self, iface: str, message, duration_ns: int,
+                   latency_ns: int, now_us: Optional[int]) -> None:
+        """One receive: clock, pending sample, live contract checks
+        (deadline, ordering)."""
+        reg = self.registry
+        ts = now_us * 1_000 if now_us is not None else reg.last_ns
+        if ts > reg.last_ns:
+            reg.last_ns = ts
+        if ts >= reg._next_roll_ns:
+            reg.advance(ts)
+        entry = self._recv_cache.get(iface)
+        if entry is None:
+            entry = self._make_recv(iface)
+        if message.kind == "data":
+            entry[4].append((duration_ns, latency_ns, message.size_bytes))
+            if self.checker is not None:
+                self.checker.on_receive(iface, message, latency_ns, ts)
+        else:
+            entry[4].append((duration_ns, -1, -1))
+
+    def _on_roll(self, index: int, start_ns: int, end_ns: int, final: bool) -> None:
+        self._drain()
+
+    @staticmethod
+    def _fold_duration(hist, samples: list) -> None:
+        """Fold (duration, ...) samples into one histogram, locals-bound."""
+        counts = hist.counts
+        deltas = hist.delta_counts
+        n = tot = 0
+        mn, mx = hist.min_value, hist.max_value
+        for sample in samples:
+            v = sample[0]
+            if v < 0:
+                v = 0
+            b = v.bit_length()
+            if b >= N_BUCKETS:
+                b = N_BUCKETS - 1
+            counts[b] += 1
+            deltas[b] = deltas.get(b, 0) + 1
+            n += 1
+            tot += v
+            if mn is None or v < mn:
+                mn = v
+            if mx is None or v > mx:
+                mx = v
+        hist.count += n
+        hist.total += tot
+        hist.delta_count += n
+        hist.delta_total += tot
+        hist.min_value = mn
+        hist.max_value = mx
+
+    def _drain(self) -> None:
+        """Fold pending samples into the instruments (batched)."""
+        for entry in self._send_cache.values():
+            samples = entry[3]
+            if not samples:
+                continue
+            entry[3] = []
+            self._fold_duration(entry[0], samples)
+            msgs = nbytes = 0
+            for _dur, size in samples:
+                if size >= 0:
+                    msgs += 1
+                    nbytes += size
+            if msgs:
+                entry[1].value += msgs
+                entry[2].value += nbytes
+        for entry in self._recv_cache.values():
+            samples = entry[4]
+            if not samples:
+                continue
+            entry[4] = []
+            self._fold_duration(entry[0], samples)
+            # Delivery latency is a *data* metric: control messages
+            # (e.g. end-of-stream markers) queue behind the whole
+            # stream and would dominate the tail with meaningless
+            # outliers.
+            lat_hist = entry[3]
+            counts = lat_hist.counts
+            deltas = lat_hist.delta_counts
+            n = tot = 0
+            mn, mx = lat_hist.min_value, lat_hist.max_value
+            msgs = nbytes = 0
+            for _dur, lat, size in samples:
+                if size >= 0:
+                    msgs += 1
+                    nbytes += size
+                    if lat >= 0:
+                        b = lat.bit_length()
+                        if b >= N_BUCKETS:
+                            b = N_BUCKETS - 1
+                        counts[b] += 1
+                        deltas[b] = deltas.get(b, 0) + 1
+                        n += 1
+                        tot += lat
+                        if mn is None or lat < mn:
+                            mn = lat
+                        if mx is None or lat > mx:
+                            mx = lat
+            if n:
+                lat_hist.count += n
+                lat_hist.total += tot
+                lat_hist.delta_count += n
+                lat_hist.delta_total += tot
+                lat_hist.min_value = mn
+                lat_hist.max_value = mx
+            if msgs:
+                entry[1].value += msgs
+                entry[2].value += nbytes
+
+    # -- robustness stream (supervisor / recovery / injector hooks) -----------
+
+    def on_restart(self, downtime_ns: int, now_ns: Optional[int] = None) -> None:
+        """One supervised restart: the MTTR live series."""
+        if now_ns is not None:
+            self.registry.advance(now_ns)
+        self._restarts.inc()
+        self._restart_hist.observe(int(downtime_ns))
+
+    def on_replay(self, now_ns: Optional[int] = None) -> None:
+        """One replayed message (exactly-once recovery)."""
+        if now_ns is not None:
+            self.registry.advance(now_ns)
+        self._replays.inc()
+
+    def on_dedup(self, now_ns: Optional[int] = None) -> None:
+        """One duplicate discarded by sequence dedup."""
+        if now_ns is not None:
+            self.registry.advance(now_ns)
+        self._dedups.inc()
+
+    def on_checkpoint(self, nbytes: int) -> None:
+        """One committed recovery checkpoint."""
+        self._checkpoints.inc()
+        self._checkpoint_bytes.inc(int(nbytes))
+
+    def on_fault(self, kind: str) -> None:
+        """One injected/organic fault, by kind."""
+        counter = self._faults.get(kind)
+        if counter is None:
+            counter = self._faults[kind] = self.registry.counter(
+                "faults_total", component=self.component, kind=kind
+            )
+        counter.inc()
+
+    # -- gauges (stamped by the runtimes) -------------------------------------
+
+    def set_busy(self, busy_ns: int) -> None:
+        """Stamp the component's accumulated CPU busy time."""
+        self.registry.gauge("busy_ns", component=self.component).set(
+            busy_ns, self.registry.last_ns
+        )
+
+    def set_queue_depth(self, iface: str, depth: int) -> None:
+        """Stamp one provided interface's live inbound queue depth."""
+        self.registry.gauge("queue_depth", component=self.component, iface=iface).set(
+            depth, self.registry.last_ns
+        )
+
+    # -- observer surface ------------------------------------------------------
+
+    def interface_summary(self) -> Dict[str, Any]:
+        """Per-interface percentile summary for the middleware report."""
+        self._drain()
+
+        def quantile_view(entry_index: int, cache: Dict[str, tuple]) -> Dict[str, Any]:
+            out = {}
+            for iface, entry in sorted(cache.items()):
+                hist = entry[entry_index]
+                if hist.count:
+                    out[iface] = {"count": hist.count, **hist.quantiles()}
+            return out
+
+        return {
+            "send_duration_ns": quantile_view(0, self._send_cache),
+            "receive_duration_ns": quantile_view(0, self._recv_cache),
+            "delivery_latency_ns": quantile_view(3, self._recv_cache),
+        }
+
+    def contract_summary(self) -> Dict[str, Any]:
+        """Violation counts for the application report ({} when no
+        contracts are attached)."""
+        if self.checker is None:
+            return {}
+        return self.checker.summary()
+
+
+def _attach_checker(cont, registry: MetricsRegistry):
+    """Build a contract checker for a container when any of its
+    functional interfaces declares a contract."""
+    from repro.core.contracts import ContractChecker
+
+    comp = cont.component
+    receive_contracts = {
+        p.name: p.contract
+        for p in comp.provided.values()
+        if p.contract is not None and not p.is_observation
+    }
+    send_contracts = {
+        r.name: r.contract
+        for r in comp.required.values()
+        if r.contract is not None and not r.is_observation
+    }
+    if not receive_contracts and not send_contracts:
+        return None
+    checker = ContractChecker(
+        comp.name,
+        receive_contracts,
+        send_contracts,
+        registry,
+        tracer=cont.extra.get("tracer"),
+    )
+    registry.add_roll_hook(checker.on_window)
+    return checker
+
+
+def enable_telemetry(runtime, window_ns: int = DEFAULT_WINDOW_NS):
+    """Attach a :class:`ComponentTelemetry` to every deployed probe.
+
+    Call after ``runtime.deploy(app)`` (and after ``enable_tracing`` if
+    contract violations should appear in the trace) and before
+    ``runtime.start()``.  On a sharded runtime one registry is built per
+    shard with shard-range window ids -- merge with
+    :func:`collect_telemetry` / :func:`merge_registries` afterwards.
+    Returns the registry (or the per-shard registry list).
+    """
+    n_shards = getattr(runtime, "n_shards", 0)
+    if n_shards:
+        from repro.sim.shard import shard_window_source
+
+        registries = [
+            MetricsRegistry(
+                shard=i, window_ns=window_ns,
+                window_ids=(lambda i=i: shard_window_source(i)),
+            )
+            for i in range(n_shards)
+        ]
+    else:
+        registries = None
+    single = MetricsRegistry(window_ns=window_ns) if registries is None else None
+    for cont in runtime.containers.values():
+        probe = cont.probe
+        policy = probe.policy
+        if policy is not None and not getattr(policy, "telemetry", True):
+            continue
+        reg = registries[cont.extra["shard"]] if registries is not None else single
+        # Construct before attaching the checker: the telemetry's drain
+        # hook must register ahead of the checker's on_window, so rate
+        # checks run against fully folded counters.
+        tel = ComponentTelemetry(reg, cont.component.name)
+        tel.checker = _attach_checker(cont, reg)
+        probe.telemetry = tel
+    runtime.metrics = registries if registries is not None else single
+    return runtime.metrics
+
+
+def collect_telemetry(runtime, final_ns: Optional[int] = None) -> MetricsRegistry:
+    """Finalize and merge a runtime's telemetry after ``wait()``.
+
+    Stamps the runtime-owned gauges (busy time, queue depths, EMBX
+    object traffic), closes the open window of every registry at the
+    run's makespan (identical across shard counts under pinned
+    placement, so the final partial window is merge-invariant too) and
+    returns one merged registry.
+    """
+    regs = getattr(runtime, "metrics", None)
+    if regs is None:
+        raise ValueError("enable_telemetry() was not called on this runtime")
+    stamp = getattr(runtime, "stamp_telemetry", None)
+    if stamp is not None:
+        stamp()
+    parts = regs if isinstance(regs, list) else [regs]
+    if final_ns is None:
+        final_ns = getattr(runtime, "makespan_ns", None)
+    for reg in parts:
+        reg.finish(final_ns if final_ns is not None else reg.last_ns)
+    return merge_registries(parts) if isinstance(regs, list) else regs

@@ -311,7 +311,7 @@ class RecoveryManager:
                 self.deduped += 1
                 cont = self._conts.get(name)
                 if cont is not None and cont.probe is not None:
-                    cont.probe.record_dedup()
+                    cont.probe.record_dedup(now_ns=ctx.now_ns())
                 tracer = self._tracer(name)
                 if tracer is not None:
                     tracer.emit(
@@ -341,24 +341,26 @@ class RecoveryManager:
                 # than wedge the receiver.
                 continue
             _, copy, _target = entry
-            self._replay_one(ctx.component.name, prov, copy)
+            self._replay_one(ctx.component.name, prov, copy, now_ns=ctx.now_ns())
             floor = missing
         # Whatever could not be healed is abandoned: accept delivery from
         # the lowest replayable sequence so the redo loop terminates.
         stream["next"] = floor
 
-    def _replay_one(self, receiver: str, prov, copy) -> None:
+    def _replay_one(self, receiver: str, prov, copy, now_ns=None) -> None:
         """Front-requeue one replica of a buffered message.  The replica
         keeps the original ``dseq`` (dedup identity) but draws a fresh
         span whose cause is the original send's span -- the causal link
-        the trace analysis surfaces as a replay edge."""
+        the trace analysis surfaces as a replay edge.  ``now_ns`` (when
+        the caller has a context clock) places the replay sample in the
+        right telemetry window."""
         runtime = self.runtime
         replica = replace(copy, span=next(runtime.span_source), cause=copy.span)
         runtime._requeue(prov, replica)
         self.replayed += 1
         cont = self._conts.get(receiver)
         if cont is not None and cont.probe is not None:
-            cont.probe.record_replay()
+            cont.probe.record_replay(now_ns=now_ns)
         tracer = self._tracer(receiver)
         if tracer is not None:
             tracer.emit(

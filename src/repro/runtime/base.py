@@ -57,6 +57,11 @@ class Runtime(ABC):
         #: present, data/control sends carry delivery sequence numbers and
         #: supervised restarts replay unacknowledged messages.
         self.recovery = None
+        #: Live metrics plane (set by
+        #: :func:`repro.metrics.telemetry.enable_telemetry` between
+        #: deploy and start): one :class:`MetricsRegistry`, or a
+        #: per-shard list on the sharded runtime.
+        self.metrics = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -189,6 +194,33 @@ class Runtime(ABC):
     def probe(self, name: str) -> ObservationProbe:
         """The observation probe of a component (by name)."""
         return self.container(name).probe
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _busy_ns_of(self, cont: ComponentContainer) -> Optional[int]:
+        """Accumulated CPU busy time of a deployed component, or ``None``
+        when this runtime cannot tell.  Each runtime declares its own
+        source, mirroring ``_os_adapter``."""
+        return None
+
+    def stamp_telemetry(self) -> None:
+        """Stamp the runtime-owned gauges (busy time, live queue depths)
+        into the metrics plane.  Called by
+        :func:`repro.metrics.telemetry.collect_telemetry`; a no-op until
+        ``enable_telemetry`` has attached instruments.  Platforms with
+        extra observable state extend it (EMBX object traffic on the
+        STi7200)."""
+        for cont in self.containers.values():
+            tel = cont.probe.telemetry
+            if tel is None:
+                continue
+            busy = self._busy_ns_of(cont)
+            if busy is not None:
+                tel.set_busy(busy)
+            adapter = cont.probe.middleware_adapter
+            if adapter is not None:
+                for iface, depth in adapter().get("queue_depths", {}).items():
+                    tel.set_queue_depth(iface, depth)
 
     def _default_plan(self) -> List[Tuple[str, str]]:
         if self.app is None or self.app.observer is None:

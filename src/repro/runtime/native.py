@@ -350,6 +350,11 @@ class NativeRuntime(Runtime):
 
         return report
 
+    def _busy_ns_of(self, cont: ComponentContainer):
+        """Busy time is the real per-thread CPU time accumulated by the
+        behaviour (``time.thread_time_ns``), available once it finishes."""
+        return cont.extra.get("thread_cpu_ns")
+
 
 class SupervisedProcess:
     """A component-hosting OS process under spawn / SIGKILL / respawn

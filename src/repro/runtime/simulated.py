@@ -585,6 +585,11 @@ class SmpSimRuntime(SimRuntime):
 
         return report
 
+    def _busy_ns_of(self, cont: ComponentContainer) -> Optional[int]:
+        """Busy time is the simulated thread's accumulated CPU time --
+        the same source the OS-level ``cpu_time_us`` report uses."""
+        return cont.handle.cpu_time_ns if cont.handle is not None else None
+
 
 class ShardedSmpSimRuntime(SmpSimRuntime):
     """The SMP runtime partitioned across N conservative shards.
@@ -1053,3 +1058,17 @@ class Sti7200SimRuntime(SimRuntime):
             return data
 
         return report
+
+    def _busy_ns_of(self, cont: ComponentContainer) -> Optional[int]:
+        """OS21 task_time is CPU time (Table 3), in microseconds."""
+        task = cont.extra.get("task")
+        if task is None:
+            return None
+        return self.system.task_time_us(task) * 1_000
+
+    def stamp_telemetry(self) -> None:
+        """Busy time and queue depths, plus the EMBX transport's
+        per-distributed-object traffic gauges."""
+        super().stamp_telemetry()
+        if self.metrics is not None:
+            self.embx.stamp_metrics(self.metrics)

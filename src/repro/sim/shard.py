@@ -72,6 +72,15 @@ def span_shard(span_id: int) -> int:
     return span_id >> SHARD_SPAN_BITS
 
 
+def shard_window_source(shard_index: int) -> Iterator[int]:
+    """A telemetry-window-id counter from shard ``shard_index``'s
+    private range -- the same scheme as :func:`shard_span_source`, so
+    merged metrics series (:func:`repro.metrics.telemetry.merge_registries`)
+    never collide on window ids and shard 0 numbers windows exactly like
+    an unsharded registry."""
+    return shard_span_source(shard_index)
+
+
 # -- partitioning helpers ------------------------------------------------------
 
 

@@ -1,0 +1,61 @@
+"""Contract violations under chaos: the acceptance-criterion test.
+
+A seeded fault campaign must trip the decode pipeline's QoS contracts
+and every violation must be observable *twice* -- as a ``contract``
+INSTANT event in the causal trace and as a nonzero
+``contract_violations_total`` counter in the exporters.  Replays under
+recovery carry their original send stamp through the restart backoff,
+so they arrive past the delivery deadline; injected duplicates that
+reach the application trip the ordering clause.
+"""
+
+import pytest
+
+from repro.faults import run_chaos_campaign
+from repro.faults.campaign import DEADLINE_US
+from repro.metrics.export import to_prometheus
+
+
+@pytest.fixture(scope="module")
+def recovered():
+    return run_chaos_campaign(seed=1, n_images=6, recover=True)
+
+
+def test_recovery_replays_trip_the_deadline_contract(recovered):
+    r = recovered
+    assert r.ok and r.bit_exact
+    assert r.contract_violations.get("deadline", 0) >= 1
+    # exactly-once recovery dedups duplicates at admission: no ordering
+    # violation can reach the application
+    assert "ordering" not in r.contract_violations
+
+
+def test_every_violation_is_both_trace_event_and_counter(recovered):
+    r = recovered
+    assert r.contract_trace_events == sum(r.contract_violations.values())
+    assert r.contract_trace_events >= 1
+
+
+def test_violations_reach_the_prometheus_exporter(recovered):
+    prom = to_prometheus(recovered.metrics)
+    lines = [
+        line
+        for line in prom.splitlines()
+        if line.startswith("repro_contract_violations_total") and 'kind="deadline"' in line
+    ]
+    assert lines, "deadline violations missing from the Prometheus export"
+    total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+    assert total == recovered.contract_violations["deadline"]
+
+
+def test_duplicates_without_recovery_trip_the_ordering_contract():
+    r = run_chaos_campaign(seed=7, n_images=6)
+    assert r.contract_violations.get("ordering", 0) >= 1
+    assert r.contract_trace_events == sum(r.contract_violations.values())
+
+
+def test_campaign_report_carries_the_contract_terms(recovered):
+    report = recovered.summary()
+    assert report["contract_violations"] == recovered.contract_violations
+    assert report["contract_trace_events"] == recovered.contract_trace_events
+    assert DEADLINE_US * 1_000 > 0  # the deadline is an ns-scale contract term
