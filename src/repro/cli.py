@@ -64,6 +64,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -366,6 +367,90 @@ def _cmd_faults_durable(args: argparse.Namespace) -> int:
         f"spawn(s) of the component process"
     )
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Fleet campaigns: run / resume / report / ls (see repro.faults.fleet)."""
+    from repro.faults.decision import build_report, render_report
+    from repro.faults.fleet import (
+        CampaignConfig,
+        FleetError,
+        build_grid,
+        cell_result_path,
+        load_aggregate,
+        load_manifest,
+        quarantine_path,
+        run_fleet_campaign,
+    )
+    from repro.recovery.durable import DurableError
+
+    def _split(raw: str, cast=str) -> tuple:
+        return tuple(cast(part) for part in raw.split(",") if part)
+
+    try:
+        if args.action in ("run", "resume"):
+            config = None
+            if args.action == "run":
+                config = CampaignConfig(
+                    seeds=_split(args.seeds, int),
+                    fault_classes=_split(args.classes),
+                    intensities=_split(args.intensities),
+                    policies=_split(args.policies),
+                    shard_counts=_split(args.shards, int),
+                    n_images=args.images,
+                )
+            result = run_fleet_campaign(
+                args.dir,
+                config=config,
+                resume=args.action == "resume",
+                max_workers=args.workers,
+                cell_timeout_s=args.cell_timeout,
+                max_cell_attempts=args.max_attempts,
+                progress=None if args.json else print,
+            )
+            print(json.dumps(result.summary(), indent=2) if args.json else (
+                f"{'ok' if result.ok else 'FAIL'}: {result.cells_ok}/"
+                f"{result.n_cells} cells ok ({result.reused} reused, "
+                f"{result.executed} executed, "
+                f"{len(result.quarantined)} quarantined) in "
+                f"{result.elapsed_s:.1f}s\n"
+                f"aggregate sha256: {result.aggregate_sha256}"
+            ))
+            return 0 if result.ok else 1
+
+        if args.action == "report":
+            report = build_report(load_aggregate(args.dir))
+            if args.json:
+                print(json.dumps(report, indent=2))
+            else:
+                print(render_report(report), end="")
+            return 0 if report["ok"] else 1
+
+        # ls: cell-by-cell completion state of the campaign directory
+        config = load_manifest(args.dir)
+        grid = build_grid(config)
+        digest = config.digest()
+        done = missing = quarantined = 0
+        for cell in grid:
+            if os.path.exists(quarantine_path(args.dir, cell.cell_id)):
+                state = "quarantined"
+                quarantined += 1
+            elif os.path.exists(cell_result_path(args.dir, cell.cell_id)):
+                state = "done"
+                done += 1
+            else:
+                state = "missing"
+                missing += 1
+            if args.verbose or state != "done":
+                print(f"{state:<12} {cell.cell_id}")
+        print(
+            f"{len(grid)} cells (digest {digest[:12]}): {done} done, "
+            f"{missing} missing, {quarantined} quarantined"
+        )
+        return 0
+    except (FleetError, DurableError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -723,6 +808,64 @@ def build_parser() -> argparse.ArgumentParser:
         "(.prom/.txt = Prometheus text, else JSON)",
     )
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="fleet chaos campaign: run/resume a resumable cell grid, "
+        "render the Pareto decision report",
+    )
+    campaign.add_argument(
+        "action", choices=("run", "resume", "report", "ls"),
+        help="run: start (or idempotently continue) a campaign; resume: "
+        "complete the missing cells of an interrupted one; report: render "
+        "the decision-support report from the aggregate; ls: list cell "
+        "completion state",
+    )
+    campaign.add_argument("dir", help="campaign directory")
+    campaign.add_argument(
+        "--seeds", default="1,7,42", metavar="S,S,...",
+        help="comma-separated campaign seeds (run only)",
+    )
+    campaign.add_argument(
+        "--classes", default="crash,drop,duplicate,stall,mixed",
+        metavar="C,C,...", help="fault classes of the grid (run only)",
+    )
+    campaign.add_argument(
+        "--intensities", default="light,heavy", metavar="I,I,...",
+        help="fault intensities of the grid (run only)",
+    )
+    campaign.add_argument(
+        "--policies", default="restart,restart-jitter,degrade,halt,recover",
+        metavar="P,P,...", help="supervision policies of the grid (run only)",
+    )
+    campaign.add_argument(
+        "--shards", default="1,2", metavar="N,N,...",
+        help="platform shard counts of the grid (run only); the recover "
+        "policy is skipped on sharded platforms",
+    )
+    campaign.add_argument(
+        "--images", type=int, default=4, help="stream length per cell (run only)"
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker-pool size (default: min(8, cpu count))",
+    )
+    campaign.add_argument(
+        "--cell-timeout", type=float, default=120.0, metavar="S",
+        help="kill a cell worker after S seconds (hung-worker reaping)",
+    )
+    campaign.add_argument(
+        "--max-attempts", type=int, default=3, metavar="K",
+        help="quarantine a cell after K failed attempts",
+    )
+    campaign.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (summary / report as JSON)",
+    )
+    campaign.add_argument(
+        "--verbose", action="store_true",
+        help="ls: list completed cells too, not only missing/quarantined",
+    )
+
     recover = sub.add_parser(
         "recover", help="inspect a durable recovery directory (WAL, checkpoints)"
     )
@@ -792,6 +935,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "recover":
         return _cmd_recover(args)
     if args.command == "trace":

@@ -13,6 +13,17 @@ See ``docs/robustness.md``.  Quick tour::
 """
 
 from repro.faults.campaign import CampaignResult, build_campaign_plan, run_chaos_campaign
+from repro.faults.decision import build_report, pareto_frontier, render_report
+from repro.faults.fleet import (
+    CampaignConfig,
+    CellSpec,
+    FleetError,
+    FleetResult,
+    build_cell_plan,
+    build_grid,
+    load_aggregate,
+    run_fleet_campaign,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     CORRUPT,
@@ -36,7 +47,9 @@ from repro.faults.supervisor import (
 )
 
 __all__ = [
+    "CampaignConfig",
     "CampaignResult",
+    "CellSpec",
     "CORRUPT",
     "CRASH",
     "DELAY",
@@ -47,6 +60,8 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "FaultSpec",
+    "FleetError",
+    "FleetResult",
     "HaltPolicy",
     "KINDS",
     "OVERFLOW",
@@ -55,5 +70,12 @@ __all__ = [
     "SupervisionEvent",
     "Supervisor",
     "build_campaign_plan",
+    "build_cell_plan",
+    "build_grid",
+    "build_report",
+    "load_aggregate",
+    "pareto_frontier",
+    "render_report",
     "run_chaos_campaign",
+    "run_fleet_campaign",
 ]

@@ -33,7 +33,7 @@ from repro.core.contracts import InterfaceContract
 from repro.core.observation import APPLICATION_LEVEL
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
-from repro.faults.supervisor import RestartPolicy, Supervisor
+from repro.faults.supervisor import RESTART, RestartPolicy, Supervisor
 from repro.metrics.telemetry import collect_telemetry, enable_telemetry
 from repro.mjpeg.components import BATCHES_PER_IMAGE, build_smp_assembly, frames_digest
 from repro.mjpeg.stream import generate_stream
@@ -108,24 +108,43 @@ class CampaignResult:
     contract_violations: Dict[str, int] = field(default_factory=dict)
     #: ``contract``-category trace events emitted by the checkers.
     contract_trace_events: int = 0
+    #: Shard count the chaos run executed on (1 = single-kernel runtime).
+    shards: int = 1
+    #: ``repr`` of the application-level error when the run did not
+    #: complete (halt-policy propagation, escalation past max attempts).
+    #: Empty for clean completion.
+    error: str = ""
+    #: Oracle mode (see :meth:`ok`): ``progress`` (default), ``survivors``
+    #: (tolerates zero delivered frames -- halt/degrade policies may
+    #: legitimately lose everything), or ``exact`` (forced exactly-once).
+    oracle: str = "progress"
+    #: Total restart backoff the supervisor spent, in nanoseconds (one
+    #: ingredient of the Pareto restart-overhead axis).
+    backoff_total_ns: int = 0
 
     @property
     def ok(self) -> bool:
         """Campaign invariant.
 
         Without recovery: the run completed and every *surviving* frame is
-        bit-exact (dropped frames are tolerated).  With recovery the claim
-        is exactly-once: the **complete** frame set must come out, and its
-        digest must equal the fault-free reference digest bit for bit.
+        bit-exact (dropped frames are tolerated).  With recovery (or the
+        ``exact`` oracle) the claim is exactly-once: the **complete** frame
+        set must come out, and its digest must equal the fault-free
+        reference digest bit for bit.  The ``survivors`` oracle -- used by
+        fleet cells running halt/degrade policies, where losing the whole
+        tail of the stream is the *expected* trade-off -- only requires
+        that whatever survived is bit-exact.
         """
-        if self.recover:
+        if self.recover or self.oracle == "exact":
             return (
                 self.bit_exact
                 and not self.lost_frames
                 and self.frames_delivered == self.frames_expected
                 and self.frames_digest == self.reference_frames_digest
             )
-        return self.bit_exact and self.frames_delivered > 0
+        if self.oracle == "survivors":
+            return self.bit_exact
+        return self.bit_exact and self.frames_delivered > 0 and not self.error
 
     def summary(self) -> Dict[str, Any]:
         """JSON-friendly condensed result (CLI / CI output)."""
@@ -147,6 +166,12 @@ class CampaignResult:
             "reference_frames_digest": self.reference_frames_digest,
             "contract_violations": self.contract_violations,
             "contract_trace_events": self.contract_trace_events,
+            "shards": self.shards,
+            "error": self.error,
+            "oracle": self.oracle,
+            "backoff_total_ns": self.backoff_total_ns,
+            "makespan_ns": self.makespan_ns,
+            "ok": self.ok,
         }
 
 
@@ -212,15 +237,36 @@ def build_campaign_plan(
 _frames_digest = frames_digest
 
 
-def _run_reference(stream) -> Dict[int, np.ndarray]:
-    """Fault-free run; returns the decoded frames by index."""
+def _run_reference(stream, shards: int = 1) -> Dict[int, np.ndarray]:
+    """Fault-free run; returns the decoded frames by index.
+
+    ``shards`` selects the platform variant (the sharded conservative
+    simulation for ``shards > 1``); the decoded pixels are shard-count
+    invariant, but fleet campaigns cache one reference per platform so
+    the oracle never crosses runtimes.
+    """
     app = build_smp_assembly(
         stream, use_stored_coefficients=True, keep_frames=True, with_observer=False
     )
-    rt = SmpSimRuntime()
+    if shards > 1:
+        from repro.runtime import ShardedSmpSimRuntime
+
+        rt = ShardedSmpSimRuntime(shards)
+    else:
+        rt = SmpSimRuntime()
     rt.run(app)
     rt.stop()
     return dict(app.components["Reorder"].frames)
+
+
+def frame_hashes(frames: Dict[int, np.ndarray]) -> Dict[int, str]:
+    """Per-frame sha256 of the raw pixel bytes -- the cacheable form of
+    the bit-exactness oracle.  Fleet campaigns persist these once per
+    (platform, seed) instead of shipping reference pixels to every cell."""
+    return {
+        index: hashlib.sha256(image.tobytes()).hexdigest()
+        for index, image in frames.items()
+    }
 
 
 def run_chaos_campaign(
@@ -232,6 +278,15 @@ def run_chaos_campaign(
     recover: bool = False,
     metrics: bool = True,
     deadline_us: int = DEADLINE_US,
+    plan: FaultPlan = None,
+    policy=None,
+    shards: int = 1,
+    oracle: str = "progress",
+    capture_errors: bool = False,
+    reference_hashes: Dict[int, str] = None,
+    reference_digest: str = "",
+    dynamic_upstream: bool = False,
+    quiescence_timeout_ns: int = None,
 ) -> CampaignResult:
     """Run one seeded chaos campaign; see the module docstring.
 
@@ -247,58 +302,116 @@ def run_chaos_campaign(
     replays that arrive past ``deadline_us``; ordering violations count
     injected duplicates that reached the application (zero under
     exactly-once recovery, which dedups them at admission).
-    """
-    stream = generate_stream(n_images, 96, 96, quality=75, seed=seed)
-    reference = _run_reference(stream)
 
-    plan = build_campaign_plan(seed, n_images, drop_rate=drop_rate, crashes=crashes)
+    The remaining keywords are the fleet-cell hooks
+    (:mod:`repro.faults.fleet` fans hundreds of these out across a worker
+    pool): an explicit ``plan`` and supervision ``policy`` replace the
+    built-in defaults, ``shards`` runs the chaos application on the
+    conservative sharded simulation, ``oracle`` relaxes or tightens
+    :attr:`CampaignResult.ok` per policy expectation, ``capture_errors``
+    records an application failure in the result instead of raising
+    (halt-policy cells *expect* to fail), and ``reference_hashes`` /
+    ``reference_digest`` substitute a cached per-frame-sha256 reference
+    for the in-process fault-free run.
+    """
+    if recover and shards > 1:
+        raise ValueError(
+            "recovery campaigns need the single-kernel runtime "
+            "(fault replay is not supported in sharded simulation)"
+        )
+    stream = generate_stream(n_images, 96, 96, quality=75, seed=seed)
+    if reference_hashes is None:
+        reference = _run_reference(stream)
+        reference_hashes = frame_hashes(reference)
+        reference_digest = _frames_digest(reference)
+    elif not reference_digest:
+        raise ValueError("reference_hashes needs the matching reference_digest")
+
+    if plan is None:
+        plan = build_campaign_plan(seed, n_images, drop_rate=drop_rate, crashes=crashes)
+    plan.validate()
     app = build_smp_assembly(
         stream,
         use_stored_coefficients=True,
         keep_frames=True,
         with_observer=True,
         drop_incomplete=True,
+        dynamic_upstream=dynamic_upstream,
+        quiescence_timeout_ns=quiescence_timeout_ns,
     )
     if metrics:
         attach_campaign_contracts(app, deadline_us)
-    rt = SmpSimRuntime()
-    rt.deploy(app)
-    buffer = enable_tracing(rt)
+    if shards > 1:
+        from repro.runtime import ShardedSmpSimRuntime
+        from repro.trace import enable_sharded_tracing, merge_buffers
+
+        rt = ShardedSmpSimRuntime(shards)
+        rt.deploy(app)
+        shard_buffers = enable_sharded_tracing(rt)
+        buffer = None
+    else:
+        rt = SmpSimRuntime()
+        rt.deploy(app)
+        buffer = enable_tracing(rt)
+        shard_buffers = None
     if metrics:
         enable_telemetry(rt)  # after tracing: checkers emit trace events
     injector = FaultInjector(plan).install(rt)
     recovery = RecoveryManager().install(rt) if recover else None
-    supervisor = Supervisor(
-        policy=RestartPolicy(max_attempts=max_attempts, base_backoff_ns=200_000),
-        seed=seed,
-    ).install(rt)
-    rt.start()
-    rt.wait()
-    reports = rt.collect()
-    rt.stop()
+    if policy is None:
+        policy = RestartPolicy(max_attempts=max_attempts, base_backoff_ns=200_000)
+    supervisor = Supervisor(policy=policy, seed=seed).install(rt)
+    error = ""
+    try:
+        rt.start()
+        rt.wait()
+        reports = rt.collect()
+    except Exception as exc:  # noqa: BLE001 - halt cells expect to fail
+        if not capture_errors:
+            rt.stop()
+            raise
+        error = repr(exc)
+        reports = {}
+    try:
+        rt.stop()
+    except Exception:  # noqa: BLE001 - teardown of a failed app may rethrow
+        if not error:
+            raise
+    if shard_buffers is not None:
+        buffer = merge_buffers(shard_buffers)
 
     delivered = dict(app.components["Reorder"].frames)
-    lost = sorted(set(reference) - set(delivered))
+    lost = sorted(set(reference_hashes) - set(delivered))
     bit_exact = all(
-        index in reference and np.array_equal(image, reference[index])
+        index in reference_hashes
+        and hashlib.sha256(image.tobytes()).hexdigest() == reference_hashes[index]
         for index, image in delivered.items()
     )
 
     restarts = 0
     mttr_samples: List[int] = []
-    for comp in app.functional_components():
-        fault_report = reports[(comp.name, APPLICATION_LEVEL)]["faults"]
-        restarts += fault_report["restarts"]
-        if fault_report["restarts"]:
-            mttr_samples.extend(
-                [fault_report["mttr_us"]] * fault_report["restarts"]
-            )
+    if reports:
+        for comp in app.functional_components():
+            fault_report = reports[(comp.name, APPLICATION_LEVEL)]["faults"]
+            restarts += fault_report["restarts"]
+            if fault_report["restarts"]:
+                mttr_samples.extend(
+                    [fault_report["mttr_us"]] * fault_report["restarts"]
+                )
+    else:
+        restarts = sum(1 for ev in supervisor.events if ev.action == RESTART)
     mttr_us = sum(mttr_samples) // len(mttr_samples) if mttr_samples else 0
+    backoff_total_ns = sum(ev.backoff_ns for ev in supervisor.events)
 
     fault_events = [e for e in buffer.events() if e.category == "fault"]
     contract_events = [e for e in buffer.events() if e.category == "contract"]
 
-    registry = collect_telemetry(rt) if metrics else None
+    registry = None
+    if metrics:
+        try:
+            registry = collect_telemetry(rt)
+        except Exception:  # noqa: BLE001 - a halted run may have no registry
+            registry = None
     violations: Dict[str, int] = {}
     if registry is not None:
         for kind, name, labels, inst in registry.instruments():
@@ -324,7 +437,7 @@ def run_chaos_campaign(
         injected=injector.counts(),
         restarts=restarts,
         mttr_us=mttr_us,
-        frames_expected=len(reference),
+        frames_expected=len(reference_hashes),
         frames_delivered=len(delivered),
         lost_frames=lost,
         bit_exact=bit_exact,
@@ -334,8 +447,12 @@ def run_chaos_campaign(
         recover=recover,
         recovery=recovery.report() if recovery is not None else {},
         frames_digest=_frames_digest(delivered),
-        reference_frames_digest=_frames_digest(reference),
+        reference_frames_digest=reference_digest,
         metrics=registry,
         contract_violations=violations,
         contract_trace_events=len(contract_events),
+        shards=shards,
+        error=error,
+        oracle=oracle,
+        backoff_total_ns=backoff_total_ns,
     )

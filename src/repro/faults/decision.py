@@ -1,0 +1,270 @@
+"""Decision support over fleet-campaign aggregates.
+
+DAVOS-style campaign analytics: given the ``aggregate.json`` of a
+:mod:`repro.faults.fleet` campaign, condense the per-cell results into
+the numbers an operator actually chooses a supervision policy by:
+
+* **per-policy metrics** -- frames saved, mean time to repair, restart
+  overhead (supervisor backoff), contract violations, oracle pass rate,
+  each aggregated over every cell the policy ran;
+* the **Pareto frontier** of policies over the four decision axes
+  (maximize frames saved; minimize MTTR, restart overhead and contract
+  violations) -- a policy is *dominated* when another is at least as
+  good on every axis and strictly better on one, so the frontier is the
+  set of defensible choices and everything else has a named reason to
+  be discarded;
+* **per-fault-class sensitivity** -- how each policy's frame survival
+  and violation counts move between light and heavy intensity, class by
+  class, exposing which fault classes a policy is actually sensitive to.
+
+Everything is computed from the aggregate alone (no re-simulation), and
+rendered both as JSON (:func:`build_report`) and as paper-style text
+tables (:func:`render_report`) for the ``repro campaign report`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.metrics.table import Table
+
+#: The decision axes of the Pareto comparison, as ``(key, direction)``;
+#: ``+1`` axes are maximized, ``-1`` minimized.
+PARETO_AXES: Tuple[Tuple[str, int], ...] = (
+    ("frames_saved_pct", +1),
+    ("mttr_us_mean", -1),
+    ("backoff_ms_total", -1),
+    ("contract_violations", -1),
+)
+
+
+def _cells(aggregate: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return aggregate.get("cells", [])
+
+
+def policy_metrics(aggregate: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Per-policy rollup over every completed cell, keyed by policy name.
+
+    ``frames_saved_pct`` is total delivered over total expected (the
+    fleet-wide survival rate under that policy); ``mttr_us_mean`` is the
+    mean of per-cell MTTR over the cells that actually restarted (cells
+    without restarts carry no repair-time information); restart overhead
+    is the total supervisor backoff the policy spent, in milliseconds.
+    """
+    slots: Dict[str, Dict[str, Any]] = {}
+    for entry in _cells(aggregate):
+        policy = entry["cell"]["policy"]
+        result = entry["result"]
+        slot = slots.setdefault(
+            policy,
+            {
+                "policy": policy,
+                "cells": 0,
+                "cells_ok": 0,
+                "frames_expected": 0,
+                "frames_delivered": 0,
+                "restarts": 0,
+                "backoff_total_ns": 0,
+                "contract_violations": 0,
+                "errors": 0,
+                "_mttr_samples": [],
+            },
+        )
+        slot["cells"] += 1
+        slot["cells_ok"] += 1 if result["ok"] else 0
+        slot["frames_expected"] += result["frames_expected"]
+        slot["frames_delivered"] += result["frames_delivered"]
+        slot["restarts"] += result["restarts"]
+        slot["backoff_total_ns"] += result["backoff_total_ns"]
+        slot["contract_violations"] += sum(result["contract_violations"].values())
+        slot["errors"] += 1 if result["error"] else 0
+        if result["restarts"]:
+            slot["_mttr_samples"].append(result["mttr_us"])
+    for slot in slots.values():
+        samples = slot.pop("_mttr_samples")
+        slot["mttr_us_mean"] = (
+            round(sum(samples) / len(samples), 1) if samples else 0.0
+        )
+        expected = slot["frames_expected"]
+        slot["frames_saved_pct"] = (
+            round(100.0 * slot["frames_delivered"] / expected, 2) if expected else 0.0
+        )
+        slot["backoff_ms_total"] = round(slot["backoff_total_ns"] / 1e6, 3)
+        slot["ok_rate_pct"] = (
+            round(100.0 * slot["cells_ok"] / slot["cells"], 2) if slot["cells"] else 0.0
+        )
+    return dict(sorted(slots.items()))
+
+
+def _dominates(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """True when policy point ``a`` Pareto-dominates ``b`` on the
+    decision axes: at least as good everywhere, strictly better somewhere."""
+    strictly_better = False
+    for key, direction in PARETO_AXES:
+        va, vb = a[key] * direction, b[key] * direction
+        if va < vb:
+            return False
+        if va > vb:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(
+    metrics: Dict[str, Dict[str, Any]],
+) -> Tuple[List[str], Dict[str, str]]:
+    """Split policies into the frontier and the dominated set.
+
+    Returns ``(frontier, dominated)``: the frontier as a sorted list of
+    policy names, and for every dominated policy the name of one policy
+    that dominates it (the *reason* it can be discarded).
+    """
+    dominated: Dict[str, str] = {}
+    for name, point in metrics.items():
+        for other_name, other in metrics.items():
+            if other_name != name and _dominates(other, point):
+                dominated[name] = other_name
+                break
+    frontier = sorted(name for name in metrics if name not in dominated)
+    return frontier, dominated
+
+
+def sensitivity(aggregate: Dict[str, Any]) -> Dict[str, List[Dict[str, Any]]]:
+    """Per-fault-class sensitivity rows.
+
+    For every fault class, one row per (policy, intensity) with the
+    survival and violation numbers of exactly those cells -- reading a
+    class's block top to bottom shows how each policy degrades as the
+    class is turned up from light to heavy.
+    """
+    buckets: Dict[Tuple[str, str, str], Dict[str, Any]] = {}
+    for entry in _cells(aggregate):
+        cell, result = entry["cell"], entry["result"]
+        key = (cell["fault_class"], cell["policy"], cell["intensity"])
+        slot = buckets.setdefault(
+            key,
+            {
+                "fault_class": key[0],
+                "policy": key[1],
+                "intensity": key[2],
+                "cells": 0,
+                "cells_ok": 0,
+                "frames_expected": 0,
+                "frames_delivered": 0,
+                "restarts": 0,
+                "contract_violations": 0,
+            },
+        )
+        slot["cells"] += 1
+        slot["cells_ok"] += 1 if result["ok"] else 0
+        slot["frames_expected"] += result["frames_expected"]
+        slot["frames_delivered"] += result["frames_delivered"]
+        slot["restarts"] += result["restarts"]
+        slot["contract_violations"] += sum(result["contract_violations"].values())
+    out: Dict[str, List[Dict[str, Any]]] = {}
+    for key in sorted(buckets):
+        slot = buckets[key]
+        expected = slot["frames_expected"]
+        slot["frames_saved_pct"] = (
+            round(100.0 * slot["frames_delivered"] / expected, 2) if expected else 0.0
+        )
+        out.setdefault(slot["fault_class"], []).append(slot)
+    return out
+
+
+def build_report(aggregate: Dict[str, Any]) -> Dict[str, Any]:
+    """The full JSON decision report for one campaign aggregate."""
+    metrics = policy_metrics(aggregate)
+    frontier, dominated = pareto_frontier(metrics)
+    summary = aggregate.get("summary", {})
+    return {
+        "config_digest": aggregate.get("config_digest", ""),
+        "n_cells": aggregate.get("n_cells", 0),
+        "completed": summary.get("completed", 0),
+        "cells_ok": summary.get("cells_ok", 0),
+        "cells_failed": summary.get("cells_failed", []),
+        "quarantined": aggregate.get("quarantined", []),
+        "ok": summary.get("ok", False),
+        "policies": metrics,
+        "pareto": {
+            "axes": [
+                {"key": key, "direction": "max" if d > 0 else "min"}
+                for key, d in PARETO_AXES
+            ],
+            "frontier": frontier,
+            "dominated": dominated,
+        },
+        "sensitivity": sensitivity(aggregate),
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Paper-style text rendering of :func:`build_report` output."""
+    lines: List[str] = []
+    lines.append(
+        f"campaign {report['config_digest'][:12]}: "
+        f"{report['completed']}/{report['n_cells']} cells completed, "
+        f"{report['cells_ok']} ok"
+        + (f", {len(report['quarantined'])} quarantined" if report["quarantined"] else "")
+    )
+    lines.append("")
+
+    policies = Table(
+        [
+            "Policy",
+            "Cells",
+            "Ok %",
+            "Frames %",
+            "MTTR (us)",
+            "Restarts",
+            "Backoff (ms)",
+            "Violations",
+        ],
+        title="Supervision policies (fleet-wide)",
+    )
+    for name, m in report["policies"].items():
+        policies.add_row(
+            [
+                name,
+                m["cells"],
+                m["ok_rate_pct"],
+                m["frames_saved_pct"],
+                m["mttr_us_mean"],
+                m["restarts"],
+                m["backoff_ms_total"],
+                m["contract_violations"],
+            ]
+        )
+    lines.append(policies.render())
+    lines.append("")
+
+    pareto = report["pareto"]
+    axes = ", ".join(
+        f"{axis['key']} ({axis['direction']})" for axis in pareto["axes"]
+    )
+    lines.append(f"Pareto frontier over {axes}:")
+    for name in pareto["frontier"]:
+        lines.append(f"  * {name}")
+    for name, by in sorted(pareto["dominated"].items()):
+        lines.append(f"  - {name} (dominated by {by})")
+    lines.append("")
+
+    for fault_class, rows in report["sensitivity"].items():
+        table = Table(
+            ["Policy", "Intensity", "Cells", "Ok", "Frames %", "Restarts", "Violations"],
+            title=f"Sensitivity: {fault_class}",
+        )
+        for row in rows:
+            table.add_row(
+                [
+                    row["policy"],
+                    row["intensity"],
+                    row["cells"],
+                    row["cells_ok"],
+                    row["frames_saved_pct"],
+                    row["restarts"],
+                    row["contract_violations"],
+                ]
+            )
+        lines.append(table.render())
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -103,6 +103,7 @@ class FaultInjector:
         self._tracers: Dict[str, Any] = {}
         self._epoch_ns: Optional[int] = None  # native-runtime time origin
         self.installed = False
+        plan.validate()  # cross-spec conflicts fail here, not mid-campaign
         for spec in plan.specs:
             if spec.kind in PROCESS_KINDS:
                 # kill9 targets the hosting OS process, which no in-process

@@ -87,11 +87,32 @@ class FaultSpec:
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
-            raise FaultPlanError(f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS} "
+                f"(see repro.faults.plan for the taxonomy)"
+            )
         if not self.component:
             raise FaultPlanError(f"{self.kind} fault needs a target component")
-        if not 0.0 <= self.probability <= 1.0:
-            raise FaultPlanError(f"probability must be in [0, 1], got {self.probability}")
+        if not 0.0 <= self.probability <= 1.0:  # also rejects NaN
+            raise FaultPlanError(
+                f"{self.kind} fault on {self.component!r}: probability (rate) must "
+                f"be in [0, 1], got {self.probability}"
+            )
+        if self.delay_ns < 0:
+            raise FaultPlanError(
+                f"{self.kind} fault on {self.component!r}: negative delay_ns "
+                f"(intensity) {self.delay_ns}; delays are forward virtual time"
+            )
+        if self.capacity < 0:
+            raise FaultPlanError(
+                f"{self.kind} fault on {self.component!r}: negative capacity "
+                f"{self.capacity}"
+            )
+        if self.after_frames < 0:
+            raise FaultPlanError(
+                f"{self.kind} fault on {self.component!r}: negative after_frames "
+                f"{self.after_frames}"
+            )
         if self.kind == CRASH:
             if (self.at_ns is None) == (self.on_receive is None):
                 raise FaultPlanError("crash needs exactly one of at_ns= or on_receive=")
@@ -190,6 +211,59 @@ class FaultPlan:
     def process_faults(self) -> List[FaultSpec]:
         """The process-level specs (executed outside the runtime)."""
         return [s for s in self.specs if s.kind in PROCESS_KINDS]
+
+    def validate(self) -> "FaultPlan":
+        """Cross-spec validation, run eagerly (fleet campaigns call this at
+        grid-build time so an ill-formed plan fails before any cell runs).
+
+        Per-spec field errors are already raised at construction by
+        :class:`FaultSpec`; this catches the conflicts only visible across
+        specs:
+
+        * **overlapping stall windows** -- two stalls on the same component
+          triggering at the same receive index would stack into one opaque
+          freeze; split them across distinct receives instead;
+        * **duplicate crash triggers** -- two crashes on the same component
+          at the same instant / receive: the second can never fire;
+        * **duplicate kill9 thresholds** -- two SIGKILLs of the same
+          component at the same durable-frame count.
+        """
+        stalls: set = set()
+        crashes: set = set()
+        kills: set = set()
+        for spec in self.specs:
+            if spec.kind == STALL:
+                key = (spec.component, spec.on_receive)
+                if key in stalls:
+                    raise FaultPlanError(
+                        f"overlapping stall windows on {spec.component!r}: two "
+                        f"stalls trigger at receive #{spec.on_receive}; merge "
+                        f"them into one longer delay_ns or move one to a "
+                        f"different on_receive"
+                    )
+                stalls.add(key)
+            elif spec.kind == CRASH:
+                key = (spec.component, spec.at_ns, spec.on_receive)
+                if key in crashes:
+                    trigger = (
+                        f"at_ns={spec.at_ns}" if spec.at_ns is not None
+                        else f"on_receive={spec.on_receive}"
+                    )
+                    raise FaultPlanError(
+                        f"duplicate crash trigger on {spec.component!r} "
+                        f"({trigger}): the component is already down when the "
+                        f"second crash would fire"
+                    )
+                crashes.add(key)
+            elif spec.kind == KILL9:
+                key = (spec.component, spec.after_frames)
+                if key in kills:
+                    raise FaultPlanError(
+                        f"duplicate kill9 threshold on {spec.component!r} "
+                        f"(after_frames={spec.after_frames})"
+                    )
+                kills.add(key)
+        return self
 
     def describe(self) -> List[Dict[str, Any]]:
         """JSON-friendly plan manifest (stable order)."""

@@ -41,6 +41,17 @@ DEGRADE = "degrade"
 HALT = "halt"
 ESCALATE = "escalate"
 
+#: Jitter modes of :class:`RestartPolicy`.  ``proportional`` perturbs the
+#: exponential backoff by ``+/- jitter`` of its value -- good enough to
+#: break exact ties, but co-faulted components still restart in a narrow
+#: band and can re-collide on the contended resource that failed them.
+#: ``full`` draws the whole backoff uniformly from ``[0, raw]`` (the
+#: classic full-jitter scheme), spreading simultaneous restarts across
+#: the entire window so retry storms cannot synchronize.
+JITTER_PROPORTIONAL = "proportional"
+JITTER_FULL = "full"
+JITTER_MODES = (JITTER_PROPORTIONAL, JITTER_FULL)
+
 
 @dataclass(frozen=True)
 class SupervisionEvent:
@@ -66,6 +77,7 @@ class RestartPolicy:
         factor: float = 2.0,
         max_backoff_ns: int = 1_000_000_000,
         jitter: float = 0.1,
+        jitter_mode: str = JITTER_PROPORTIONAL,
     ) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -73,26 +85,51 @@ class RestartPolicy:
             raise ValueError("invalid backoff bounds")
         if not 0.0 <= jitter < 1.0:
             raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if jitter_mode not in JITTER_MODES:
+            raise ValueError(
+                f"jitter_mode must be one of {JITTER_MODES}, got {jitter_mode!r}"
+            )
         self.max_attempts = max_attempts
         self.base_backoff_ns = base_backoff_ns
         self.factor = factor
         self.max_backoff_ns = max_backoff_ns
         self.jitter = jitter
+        self.jitter_mode = jitter_mode
 
     def backoff_ns(self, attempt: int, rng) -> int:
         """Backoff before restart ``attempt`` (1-based), jittered by
-        ``rng`` (a seeded stream, so schedules stay reproducible)."""
+        ``rng`` (a per-component seeded stream, so co-faulted components
+        draw *different* backoffs from identical policies and schedules
+        stay reproducible).
+
+        ``proportional`` mode perturbs the exponential value by
+        ``+/- jitter``; ``full`` mode draws uniformly from ``[0, raw]``,
+        desynchronizing simultaneous restarts across the whole window
+        (see :data:`JITTER_MODES`).
+        """
         raw = self.base_backoff_ns * (self.factor ** (attempt - 1))
         raw = min(raw, self.max_backoff_ns)
-        if self.jitter:
+        if self.jitter_mode == JITTER_FULL:
+            raw *= float(rng.random())
+        elif self.jitter:
             raw *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
         return max(0, int(raw))
 
 
 class DegradePolicy:
-    """Give the component up but keep the application alive."""
+    """Give the component up but keep the application alive.
+
+    With ``detach_outbound=True`` the degraded component's *required*
+    (outbound) data interfaces are disconnected too, so downstream
+    components that count their live upstreams dynamically (e.g. a
+    reassembly stage waiting for one end-of-stream marker per upstream)
+    stop expecting traffic from it instead of blocking forever.
+    """
 
     action = DEGRADE
+
+    def __init__(self, detach_outbound: bool = False) -> None:
+        self.detach_outbound = detach_outbound
 
 
 class HaltPolicy:
@@ -192,6 +229,8 @@ class Supervisor:
                         SupervisionEvent(failed_at, comp.name, DEGRADE, attempt, repr(error)),
                     )
                     self._disconnect_inbound(comp)
+                    if getattr(policy, "detach_outbound", False):
+                        self._disconnect_outbound(comp)
                     comp.state = ComponentState.DEGRADED
                     return None
                 # restart
@@ -224,6 +263,17 @@ class Supervisor:
                 # restored checkpoint when recovery is installed); mailbox
                 # bindings and connections survive, in-flight messages are
                 # preserved.
+
+    @staticmethod
+    def _disconnect_outbound(comp) -> None:
+        """Detach the degraded component's outgoing data connections so
+        dynamically-counting downstream receivers stop waiting for its
+        end-of-stream (``DegradePolicy(detach_outbound=True)``)."""
+        for req in comp.required.values():
+            if getattr(req, "is_observation", False):
+                continue
+            if req.connected:
+                req.disconnect()
 
     @staticmethod
     def _disconnect_inbound(comp) -> None:

@@ -222,10 +222,18 @@ class ReorderComponent(Component):
         keep_frames: bool = False,
         drop_incomplete: bool = False,
         frame_sink=None,
+        quiescence_timeout_ns: Optional[int] = None,
     ) -> None:
         super().__init__(name)
         self.height = height
         self.width = width
+        #: Optional per-receive deadline (virtual ns).  When an upstream
+        #: is halted or degraded its end-of-stream marker never arrives;
+        #: with a quiescence deadline the reassembly loop treats that
+        #: silence as end-of-stream-under-loss instead of blocking the
+        #: application forever.  ``None`` keeps the strict EOS-counting
+        #: behaviour.  Fleet campaign cells always set this.
+        self.quiescence_timeout_ns = quiescence_timeout_ns
         #: None means "count the upstreams live" -- required when IDCT
         #: components are added by dynamic reconfiguration.
         self.n_upstream = n_upstream
@@ -290,7 +298,24 @@ class ReorderComponent(Component):
             self._completed = 0
         self._restored = False
         while self._eos_seen < self._upstream_count():
-            msg = yield from ctx.receive("idctReorder")
+            if self.quiescence_timeout_ns is not None:
+                from repro.core.errors import DeadlineError
+
+                try:
+                    msg = yield from ctx.receive(
+                        "idctReorder", timeout_ns=self.quiescence_timeout_ns
+                    )
+                except DeadlineError:
+                    # Upstream silence past the deadline: a halted or
+                    # degraded sender whose EOS will never come.  Finish
+                    # with what was reassembled (lossy-transport mode).
+                    ctx.log(
+                        f"quiescent for {self.quiescence_timeout_ns}ns with "
+                        f"{self._eos_seen}/{self._upstream_count()} EOS; closing stream"
+                    )
+                    break
+            else:
+                msg = yield from ctx.receive("idctReorder")
             if msg.kind == CONTROL and msg.tag == TAG_EOS:
                 self._eos_seen += 1
                 continue
@@ -430,8 +455,18 @@ def build_smp_assembly(
     with_observer: bool = True,
     drop_incomplete: bool = False,
     frame_sink=None,
+    dynamic_upstream: bool = False,
+    quiescence_timeout_ns: Optional[int] = None,
 ) -> Application:
-    """The Figure 3 application: Fetch + n IDCT + Reorder."""
+    """The Figure 3 application: Fetch + n IDCT + Reorder.
+
+    ``dynamic_upstream=True`` makes the Reorder stage count its live
+    upstream connections per iteration instead of assuming all ``n_idct``
+    IDCTs stay connected -- required when a supervision policy may detach
+    a degraded IDCT mid-stream.  ``quiescence_timeout_ns`` additionally
+    bounds how long Reorder waits for silent upstreams (see
+    :class:`ReorderComponent`).
+    """
     app = Application("mjpeg-smp")
     fetch = app.add(
         FetchComponent(
@@ -444,10 +479,11 @@ def build_smp_assembly(
             "Reorder",
             stream.height,
             stream.width,
-            n_upstream=n_idct,
+            n_upstream=None if dynamic_upstream else n_idct,
             keep_frames=keep_frames,
             drop_incomplete=drop_incomplete,
             frame_sink=frame_sink,
+            quiescence_timeout_ns=quiescence_timeout_ns,
         )
     )
     for i, idct in enumerate(idcts, start=1):

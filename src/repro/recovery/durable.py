@@ -92,6 +92,55 @@ def config_digest(config: Optional[Dict[str, Any]]) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def canonical_json_bytes(payload: Any) -> bytes:
+    """The canonical byte form of a JSON value (sorted keys, no
+    whitespace) -- the input of every digest that must be stable across
+    processes and resumes."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def write_checksummed_json(path: str, body: Any, dir_sync: bool = True) -> str:
+    """Atomically publish ``body`` as a self-verifying JSON document.
+
+    The file wraps the body with the sha256 of its canonical form, so a
+    reader can tell a torn or corrupted write from a valid one without
+    any out-of-band state.  Fleet campaigns use this for the campaign
+    manifest, reference-cache entries and per-cell results -- the files
+    an orchestrator ``kill -9`` may leave half-written.  Returns the
+    body checksum.
+    """
+    checksum = hashlib.sha256(canonical_json_bytes(body)).hexdigest()
+    document = {"body": body, "sha256": checksum}
+    atomic_write_bytes(
+        path,
+        json.dumps(document, sort_keys=True, indent=2).encode() + b"\n",
+        dir_sync=dir_sync,
+    )
+    return checksum
+
+
+def read_checksummed_json(path: str) -> Any:
+    """Read a document written by :func:`write_checksummed_json`,
+    verifying its checksum; raises :class:`DurableError` when the file is
+    torn, corrupt, or not in the checksummed format."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise DurableError(f"{path}: unreadable checksummed document: {exc}") from exc
+    if not isinstance(document, dict) or "body" not in document or "sha256" not in document:
+        raise DurableError(f"{path}: not a checksummed JSON document")
+    body = document["body"]
+    expected = document["sha256"]
+    actual = hashlib.sha256(canonical_json_bytes(body)).hexdigest()
+    if actual != expected:
+        raise DurableError(
+            f"{path}: checksum mismatch (stored {expected[:12]}..., "
+            f"computed {actual[:12]}...); torn or corrupted write"
+        )
+    return body
+
+
 def message_to_record(message: Message) -> Dict[str, Any]:
     """The journaled form of a retransmit copy."""
     return {name: getattr(message, name) for name in _MSG_FIELDS}

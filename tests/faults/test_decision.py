@@ -1,0 +1,129 @@
+"""Decision support: policy metrics, Pareto frontier, sensitivity."""
+
+from repro.faults.decision import (
+    build_report,
+    pareto_frontier,
+    policy_metrics,
+    render_report,
+    sensitivity,
+)
+
+
+def _cell(policy, fault_class="crash", intensity="light", *, ok=True,
+          expected=3, delivered=3, restarts=0, mttr=0, backoff=0,
+          violations=None, error=""):
+    return {
+        "cell": {
+            "cell_id": f"cX-{policy}-{fault_class}-{intensity}",
+            "policy": policy,
+            "fault_class": fault_class,
+            "intensity": intensity,
+        },
+        "result": {
+            "ok": ok,
+            "error": error,
+            "frames_expected": expected,
+            "frames_delivered": delivered,
+            "restarts": restarts,
+            "mttr_us": mttr,
+            "backoff_total_ns": backoff,
+            "contract_violations": violations or {},
+        },
+    }
+
+
+def _aggregate(cells):
+    return {
+        "config_digest": "d" * 64,
+        "n_cells": len(cells),
+        "cells": cells,
+        "quarantined": [],
+        "summary": {
+            "completed": len(cells),
+            "cells_ok": sum(1 for c in cells if c["result"]["ok"]),
+            "cells_failed": [
+                c["cell"]["cell_id"] for c in cells if not c["result"]["ok"]
+            ],
+            "ok": all(c["result"]["ok"] for c in cells),
+        },
+    }
+
+
+def test_policy_metrics_aggregates_per_policy():
+    agg = _aggregate([
+        _cell("restart", delivered=2, restarts=2, mttr=100, backoff=1_000_000),
+        _cell("restart", delivered=3, restarts=1, mttr=200, backoff=500_000),
+        _cell("halt", delivered=1, violations={"deadline": 4}),
+    ])
+    metrics = policy_metrics(agg)
+    assert set(metrics) == {"halt", "restart"}
+    restart = metrics["restart"]
+    assert restart["cells"] == 2
+    assert restart["frames_delivered"] == 5
+    assert restart["frames_saved_pct"] == round(100 * 5 / 6, 2)
+    assert restart["mttr_us_mean"] == 150.0  # mean over restarting cells only
+    assert restart["backoff_ms_total"] == 1.5
+    halt = metrics["halt"]
+    assert halt["mttr_us_mean"] == 0.0  # no restarts, no repair-time signal
+    assert halt["contract_violations"] == 4
+
+
+def test_pareto_frontier_discards_dominated_policies_with_a_reason():
+    # b saves as many frames as a with strictly less of every cost
+    agg = _aggregate([
+        _cell("a", delivered=3, restarts=2, mttr=200, backoff=2_000_000),
+        _cell("b", delivered=3, restarts=1, mttr=100, backoff=1_000_000),
+        _cell("c", delivered=1),  # cheap but lossy: incomparable, stays
+    ])
+    frontier, dominated = pareto_frontier(policy_metrics(agg))
+    assert frontier == ["b", "c"]
+    assert dominated == {"a": "b"}
+
+
+def test_identical_policies_do_not_dominate_each_other():
+    agg = _aggregate([
+        _cell("a", delivered=2, restarts=1, mttr=50),
+        _cell("b", delivered=2, restarts=1, mttr=50),
+    ])
+    frontier, dominated = pareto_frontier(policy_metrics(agg))
+    assert frontier == ["a", "b"] and dominated == {}
+
+
+def test_sensitivity_groups_by_class_policy_intensity():
+    agg = _aggregate([
+        _cell("restart", "crash", "light", delivered=3),
+        _cell("restart", "crash", "heavy", delivered=1, violations={"deadline": 2}),
+        _cell("restart", "drop", "light", delivered=2),
+    ])
+    sens = sensitivity(agg)
+    assert set(sens) == {"crash", "drop"}
+    crash_rows = sens["crash"]
+    assert [(r["intensity"], r["frames_saved_pct"]) for r in crash_rows] == [
+        ("heavy", round(100 / 3, 2)), ("light", 100.0),
+    ]
+    assert crash_rows[0]["contract_violations"] == 2
+
+
+def test_build_and_render_report_end_to_end():
+    agg = _aggregate([
+        _cell("restart", "crash", "light", restarts=1, mttr=120, backoff=300_000),
+        _cell("halt", "crash", "light", delivered=0, ok=True),
+    ])
+    report = build_report(agg)
+    assert report["ok"] is True
+    assert report["pareto"]["frontier"]  # never empty when policies exist
+    text = render_report(report)
+    assert "Supervision policies" in text
+    assert "Pareto frontier" in text
+    assert "Sensitivity: crash" in text
+    assert "restart" in text and "halt" in text
+
+
+def test_report_surfaces_failures_and_quarantine():
+    agg = _aggregate([_cell("restart", ok=False, error="boom")])
+    agg["quarantined"] = ["cY-lost"]
+    agg["summary"]["ok"] = False
+    report = build_report(agg)
+    assert report["ok"] is False
+    assert report["quarantined"] == ["cY-lost"]
+    assert "quarantined" in render_report(report)

@@ -1,0 +1,93 @@
+"""Orchestrator SIGKILL mid-campaign: resume must reproduce the exact
+aggregate bytes of an uninterrupted run.
+
+The orchestrator CLI runs in a real child process and is SIGKILLed --
+no cleanup, no atexit -- after a seed-derived number of cell results
+have landed on disk.  ``repro campaign resume`` then completes only the
+missing cells, and the aggregate must be byte-identical (sha256 over the
+file) to the one an uninterrupted campaign of the same config produces.
+"""
+
+import hashlib
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.faults.fleet import CampaignConfig, run_fleet_campaign
+
+#: One seed's grid: 2 classes x 2 policies x 2 platforms = 8 cells.
+GRID = dict(
+    fault_classes=("crash", "drop"),
+    intensities=("light",),
+    policies=("restart", "degrade"),
+    shard_counts=(1, 2),
+    n_images=4,
+)
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _campaign_argv(root, seed):
+    return [
+        sys.executable, "-m", "repro.cli", "campaign", "run", root,
+        "--seeds", str(seed), "--classes", ",".join(GRID["fault_classes"]),
+        "--intensities", ",".join(GRID["intensities"]),
+        "--policies", ",".join(GRID["policies"]),
+        "--shards", ",".join(str(s) for s in GRID["shard_counts"]),
+        "--images", str(GRID["n_images"]), "--workers", "2",
+    ]
+
+
+def _sha256(path):
+    with open(path, "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest()
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_sigkill_mid_campaign_then_resume_is_byte_identical(tmp_path, seed):
+    # the uninterrupted witness, computed in-process
+    config = CampaignConfig(seeds=(seed,), **GRID)
+    witness = run_fleet_campaign(str(tmp_path / "witness"), config, max_workers=2)
+    assert witness.ok
+
+    # the victim: a real orchestrator process, SIGKILLed after a
+    # seed-derived number of cell results are durable
+    root = str(tmp_path / "victim")
+    kill_after = 1 + seed % 3
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(REPO_SRC))
+    proc = subprocess.Popen(
+        _campaign_argv(root, seed), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    cells_dir = os.path.join(root, "cells")
+    deadline = time.time() + 120
+    while time.time() < deadline and proc.poll() is None:
+        done = (
+            [f for f in os.listdir(cells_dir) if f.endswith(".json")]
+            if os.path.isdir(cells_dir) else []
+        )
+        if len(done) >= kill_after:
+            break
+        time.sleep(0.005)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+
+    # the kill must not have left a (possibly torn) aggregate behind
+    # unless the campaign actually finished first
+    finished = proc.returncode == 0
+    if not finished:
+        assert not os.path.exists(os.path.join(root, "aggregate.json"))
+
+    resumed = run_fleet_campaign(root, resume=True, max_workers=2)
+    assert resumed.ok
+    assert resumed.completed == witness.n_cells
+    if not finished:
+        assert resumed.executed > 0  # the resume did real work
+    assert resumed.aggregate_sha256 == witness.aggregate_sha256
+    assert _sha256(os.path.join(root, "aggregate.json")) == _sha256(
+        os.path.join(str(tmp_path / "witness"), "aggregate.json")
+    )

@@ -55,3 +55,66 @@ def test_crash_needs_exactly_one_trigger():
 def test_invalid_specs_are_rejected(kwargs, match):
     with pytest.raises(FaultPlanError, match=match):
         FaultSpec(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        (dict(kind="drop", component="A", interface="out", delay_ns=-1),
+         "negative delay_ns"),
+        (dict(kind="overflow", component="A", interface="out", capacity=-2),
+         "negative capacity"),
+        (dict(kind="kill9", component="A", after_frames=-1),
+         "negative after_frames"),
+    ],
+)
+def test_negative_fields_are_rejected_eagerly(kwargs, match):
+    with pytest.raises(FaultPlanError, match=match):
+        FaultSpec(**kwargs)
+
+
+def test_unknown_kind_error_names_the_taxonomy():
+    with pytest.raises(FaultPlanError, match="repro.faults.plan"):
+        FaultSpec("sigsegv", "A")
+
+
+def test_validate_rejects_overlapping_stall_windows():
+    plan = (
+        FaultPlan(seed=1)
+        .stall("A", on_receive=4, delay_ns=1_000)
+        .stall("A", on_receive=4, delay_ns=2_000)
+    )
+    with pytest.raises(FaultPlanError, match="overlapping stall windows"):
+        plan.validate()
+
+
+def test_validate_allows_disjoint_stalls_and_returns_self():
+    plan = (
+        FaultPlan(seed=1)
+        .stall("A", on_receive=4, delay_ns=1_000)
+        .stall("A", on_receive=5, delay_ns=1_000)
+        .stall("B", on_receive=4, delay_ns=1_000)
+    )
+    assert plan.validate() is plan
+
+
+def test_validate_rejects_duplicate_crash_triggers():
+    plan = FaultPlan(seed=1).crash("A", on_receive=3).crash("A", on_receive=3)
+    with pytest.raises(FaultPlanError, match="duplicate crash trigger"):
+        plan.validate()
+    # distinct triggers on the same component are fine
+    FaultPlan(seed=1).crash("A", on_receive=3).crash("A", on_receive=4).validate()
+
+
+def test_validate_rejects_duplicate_kill9_thresholds():
+    plan = FaultPlan(seed=1).kill9("A", after_frames=2).kill9("A", after_frames=2)
+    with pytest.raises(FaultPlanError, match="duplicate kill9 threshold"):
+        plan.validate()
+
+
+def test_injector_validates_the_plan_at_construction():
+    from repro.faults import FaultInjector
+
+    plan = FaultPlan(seed=1).crash("A", on_receive=3).crash("A", on_receive=3)
+    with pytest.raises(FaultPlanError, match="duplicate crash trigger"):
+        FaultInjector(plan)

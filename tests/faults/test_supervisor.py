@@ -198,3 +198,74 @@ def test_supervised_injected_crashes_recover_end_to_end():
     assert len(sink) == 9
     assert rt.probe("cons").restarts == 1
     assert rt.probe("cons").fault_counts == {"crash": 1}
+
+
+def test_full_jitter_backoff_spreads_over_the_whole_window():
+    """Full jitter draws from [0, raw]; proportional stays in a narrow
+    band around raw -- the difference that desynchronizes retry storms."""
+    from repro.faults.supervisor import JITTER_FULL
+
+    proportional = RestartPolicy(base_backoff_ns=1_000_000, jitter=0.1)
+    full = RestartPolicy(base_backoff_ns=1_000_000, jitter_mode=JITTER_FULL)
+    registry = RngRegistry(7)
+    raw = 1_000_000
+    prop_draws = [
+        proportional.backoff_ns(1, registry.stream(f"p.{k}")) for k in range(32)
+    ]
+    full_draws = [full.backoff_ns(1, registry.stream(f"f.{k}")) for k in range(32)]
+    assert all(0.9 * raw <= d <= 1.1 * raw for d in prop_draws)
+    assert all(0 <= d <= raw for d in full_draws)
+    # the full-jitter spread covers far more of the window
+    assert max(full_draws) - min(full_draws) > max(prop_draws) - min(prop_draws)
+
+
+def test_full_jitter_decorrelates_co_faulted_components():
+    """Identical policies, same attempt: per-component streams give each
+    component its own point of the window (no synchronized retry band)."""
+    from repro.faults.supervisor import JITTER_FULL
+
+    policy = RestartPolicy(base_backoff_ns=1_000_000, jitter_mode=JITTER_FULL)
+    registry = RngRegistry(0)
+    draws = {
+        name: policy.backoff_ns(1, registry.stream(f"supervisor.backoff.{name}"))
+        for name in ("IDCT_1", "IDCT_2", "IDCT_3")
+    }
+    assert len(set(draws.values())) == 3
+
+
+def test_full_jitter_is_deterministic_per_seed():
+    from repro.faults.supervisor import JITTER_FULL
+
+    policy = RestartPolicy(base_backoff_ns=1_000_000, jitter_mode=JITTER_FULL)
+    a = policy.backoff_ns(2, RngRegistry(5).stream("supervisor.backoff.X"))
+    b = policy.backoff_ns(2, RngRegistry(5).stream("supervisor.backoff.X"))
+    assert a == b
+
+
+def test_unknown_jitter_mode_is_rejected():
+    with pytest.raises(ValueError, match="jitter_mode"):
+        RestartPolicy(jitter_mode="gaussian")
+
+
+def test_degrade_detach_outbound_disconnects_required_interfaces():
+    """detach_outbound severs the degraded component's outgoing data
+    connections so dynamic downstream counting stops expecting its EOS."""
+    from tests.faults.conftest import collector_behavior, producer_behavior
+
+    app = Application("detach")
+    sink = []
+    app.create("prod", behavior=producer_behavior(3), requires=["out"])
+    app.create("mid", behavior=lambda ctx: iter(()), provides=["in"], requires=["out"])
+    app.create("cons", behavior=collector_behavior(sink), provides=["in"])
+    app.connect("prod", "out", "mid", "in")
+    app.connect("mid", "out", "cons", "in")
+    mid = app.components["mid"]
+    assert mid.get_required("out").connected
+    Supervisor._disconnect_outbound(mid)
+    assert not mid.get_required("out").connected
+    # inbound stays: detach_outbound composes with (not replaces) the
+    # inbound disconnect the degrade flow always performs
+    assert app.components["prod"].get_required("out").connected
+    # and the flag defaults off
+    assert not DegradePolicy().detach_outbound
+    assert DegradePolicy(detach_outbound=True).detach_outbound

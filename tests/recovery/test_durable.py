@@ -228,3 +228,47 @@ def test_sharded_runtime_refuses_durable_replay(tmp_path):
     with pytest.raises(RuntimeError_, match="sharded"):
         RecoveryManager(checkpoint_interval=4, durable=store).install(rt)
     store.close()
+
+
+def test_checksummed_json_roundtrip(tmp_path):
+    from repro.recovery.durable import read_checksummed_json, write_checksummed_json
+
+    path = str(tmp_path / "doc.json")
+    body = {"b": [1, 2, 3], "a": {"nested": True}}
+    checksum = write_checksummed_json(path, body)
+    assert len(checksum) == 64
+    assert read_checksummed_json(path) == body
+    # identical body writes identical bytes (resume byte-identity)
+    data = open(path, "rb").read()
+    write_checksummed_json(path, {"a": {"nested": True}, "b": [1, 2, 3]})
+    assert open(path, "rb").read() == data
+
+
+def test_checksummed_json_detects_corruption(tmp_path):
+    from repro.recovery.durable import (
+        DurableError,
+        read_checksummed_json,
+        write_checksummed_json,
+    )
+
+    path = str(tmp_path / "doc.json")
+    write_checksummed_json(path, {"value": 1})
+    tampered = open(path).read().replace('"value": 1', '"value": 2')
+    open(path, "w").write(tampered)
+    with pytest.raises(DurableError, match="checksum mismatch"):
+        read_checksummed_json(path)
+
+
+def test_checksummed_json_rejects_torn_and_foreign_files(tmp_path):
+    from repro.recovery.durable import DurableError, read_checksummed_json
+
+    torn = tmp_path / "torn.json"
+    torn.write_text('{"body": {"x"')  # truncated mid-write
+    with pytest.raises(DurableError, match="unreadable"):
+        read_checksummed_json(str(torn))
+    foreign = tmp_path / "foreign.json"
+    foreign.write_text('{"just": "json"}')
+    with pytest.raises(DurableError, match="not a checksummed"):
+        read_checksummed_json(str(foreign))
+    with pytest.raises(DurableError, match="unreadable"):
+        read_checksummed_json(str(tmp_path / "absent.json"))
