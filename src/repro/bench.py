@@ -340,6 +340,25 @@ def bench_sim_shards(quick: bool = False) -> Dict:
                 best = result
         by_shards[str(n_shards)] = best
 
+    # Envelope hot-path micro-bench: construct-push-release through the
+    # staging heap, with the src/iface strings repeating the way real
+    # component graphs repeat them -- the case `sys.intern` in
+    # Envelope.__init__ targets (interned strings win the heap
+    # comparison's identity short-circuit).
+    from repro.sim.mailbox import Staging
+
+    n_envs = 20_000 if quick else 100_000
+    noop = lambda: None  # noqa: E731
+
+    def run_envelopes() -> None:
+        staging = Staging()
+        push = staging.push
+        for i in range(n_envs):
+            push(Envelope(i + 1, i, "c%d" % (i % 64), "s%d" % (i % 4), i, noop))
+        staging.release_batched(n_envs + 2, lambda t, cb: None)
+
+    t_envs = _best(run_envelopes, reps)
+
     serial_busy = by_shards["1"]["busy_s"]
     return {
         "components": n_chains * n_stages,
@@ -355,6 +374,94 @@ def bench_sim_shards(quick: bool = False) -> Dict:
         "shards": by_shards,
         "speedup_2": serial_busy / by_shards["2"]["max_shard_busy_s"],
         "speedup_4": serial_busy / by_shards["4"]["max_shard_busy_s"],
+        "envelope": {
+            "envelopes": n_envs,
+            "best_s": t_envs,
+            "ns_per_envelope": t_envs / n_envs * 1e9,
+        },
+    }
+
+
+def bench_sim_scale(quick: bool = False) -> Dict:
+    """10k-component scaling bench over the traffic workload.
+
+    Runs :func:`repro.workloads.traffic.run_traffic` at each size x
+    shard count, asserts the trace digest is identical across shard
+    counts (scaling numbers for a diverging simulation are meaningless),
+    and reports wall events/sec, the per-event cost at 1 shard (the
+    flat-cost claim), the critical-path speedup (same basis as
+    ``sim_shards``), the cross-shard batch factor and the process peak
+    RSS.  ``ru_maxrss`` is a process-wide high-water mark, so the RSS
+    column is only meaningful read smallest-size-first (sizes run in
+    ascending order).
+    """
+    import resource
+
+    from repro.workloads import TrafficConfig, run_traffic
+    from repro.workloads.traffic import build_traffic_graph
+
+    sizes = (256, 1000) if quick else (1000, 4000, 10000)
+    shard_counts = (1, 2, 4)
+    ticks = 2 if quick else 3
+    spin = 40 if quick else 120
+    reps = 1 if quick else 2
+
+    by_size: Dict[str, Dict] = {}
+    for size in sizes:
+        config = TrafficConfig(n_components=size, ticks=ticks, spin=spin)
+        graph = build_traffic_graph(config)
+        rows: Dict[str, Dict] = {}
+        digests = set()
+        events = 0
+        for n_shards in shard_counts:
+            best = None
+            for _ in range(reps):
+                result = run_traffic(config, n_shards, graph=graph)
+                if best is None or result["wall_s"] < best["wall_s"]:
+                    best = result
+            digests.add(best["digest"])
+            events = best["events"]
+            rows[str(n_shards)] = {
+                "wall_s": best["wall_s"],
+                "events_per_s": best["events"] / best["wall_s"],
+                "busy_s": best["busy_s"],
+                "max_shard_busy_s": best["max_shard_busy_s"],
+                "sweeps": best["sweeps"],
+                "batch_factor": best["batch_factor"],
+            }
+        if len(digests) != 1:
+            raise AssertionError(
+                f"sim_scale at {size} components: trace digest diverged "
+                f"across shard counts {shard_counts}: {sorted(digests)}"
+            )
+        serial_busy = rows["1"]["busy_s"]
+        by_size[str(size)] = {
+            "events": events,
+            "digest": next(iter(digests)),
+            "shards": rows,
+            "ns_per_event_1shard": rows["1"]["wall_s"] / events * 1e9,
+            "speedup_2": serial_busy / rows["2"]["max_shard_busy_s"],
+            "speedup_4": serial_busy / rows["4"]["max_shard_busy_s"],
+            "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        }
+
+    largest = by_size[str(sizes[-1])]
+    return {
+        "sizes": list(sizes),
+        "ticks": ticks,
+        "spin": spin,
+        "reps": reps,
+        "basis": (
+            "critical_path: speedup_N = busy_s(1 shard) / max per-shard "
+            "busy_s(N shards); events_per_s is wall-clock on this host"
+        ),
+        "by_size": by_size,
+        "components": sizes[-1],
+        "speedup_2": largest["speedup_2"],
+        "speedup_4": largest["speedup_4"],
+        "events_per_s_1shard": largest["shards"]["1"]["events_per_s"],
+        "events_per_s_4shards": largest["shards"]["4"]["events_per_s"],
+        "batch_factor_4shards": largest["shards"]["4"]["batch_factor"],
     }
 
 
@@ -631,6 +738,9 @@ def bench_kernel(quick: bool = False) -> Dict:
     # for a simulation that diverges would be meaningless.
     sim_shards = bench_sim_shards(quick)
 
+    # 10k-component scaling over the traffic workload (ROADMAP: scale).
+    sim_scale = bench_sim_scale(quick)
+
     return {
         "suite": "kernel",
         "workload": {
@@ -702,6 +812,7 @@ def bench_kernel(quick: bool = False) -> Dict:
                 "fsync": "never",
             },
             "sim_shards": sim_shards,
+            "sim_scale": sim_scale,
         },
     }
 
@@ -747,6 +858,17 @@ _CHECK_TOLERANCE = 0.25
 #: enough to leave enabled.
 _METRICS_OVERHEAD_MAX = 1.05
 
+#: Absolute floor on the sim_scale critical-path speedup at 4 shards
+#: (largest size).  Critical-path basis is busy-time derived, so the
+#: floor is mostly host-independent, but the static partition of the
+#: skewed traffic graph legitimately leaves ~1.7x event imbalance and
+#: loaded CI hosts add noise on top -- the floor sits safely below the
+#: ~2-3.5x this bench measures, high enough to catch batching or
+#: partitioning falling over (a broken cut measures ~1x).  (The
+#: digest-equality assert lives in the bench itself and raises on
+#: divergence.)
+_SIM_SCALE_SPEEDUP_MIN = 1.5
+
 
 def check_regressions(
     quick: bool = True, baseline_path: str = "BENCH_kernel.json"
@@ -784,6 +906,20 @@ def check_regressions(
         print(
             f"check metrics_overhead: {overhead:.3f}x"
             f" (budget {_METRICS_OVERHEAD_MAX:.2f}x) {verdict}"
+        )
+    # Likewise absolute: the 10k-scaling promise (digest equality across
+    # shard counts is asserted inside the bench; a divergence raises).
+    scale = current.get("sim_scale")
+    if scale is not None:
+        speedup = scale["speedup_4"]
+        verdict = "ok"
+        if speedup < _SIM_SCALE_SPEEDUP_MIN:
+            verdict = f"UNDER FLOOR (<{_SIM_SCALE_SPEEDUP_MIN:.1f}x)"
+            ok = False
+        print(
+            f"check sim_scale: {speedup:.2f}x critical-path speedup at 4 "
+            f"shards / {scale['components']} components"
+            f" (floor {_SIM_SCALE_SPEEDUP_MIN:.1f}x) {verdict}"
         )
     return ok
 

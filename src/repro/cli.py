@@ -19,14 +19,25 @@ Commands
     the per-frame decode benches across a process pool; ``--check``
     re-runs the kernel hot paths and fails on a >25% regression versus
     the committed ``BENCH_kernel.json`` instead of writing artifacts.
-``run [--images N] [--shards N] [--parallel] [--metrics OUT]``
-    Run the MJPEG SMP decode and print the sha256 of the decoded frame
-    set.  ``--shards N`` partitions the simulation across N conservative
-    shards (``repro.sim.shard``); the digest is identical for every
-    shard count -- the CI ``shard-smoke`` job diffs them.  ``--metrics
-    OUT`` additionally runs the live telemetry plane and writes the
-    merged registry (the ``metrics sha256:`` line is likewise
-    shard-count invariant -- the CI ``metrics-smoke`` job diffs it).
+``run [--workload {mjpeg,traffic}] [--images N] [--components N]
+[--shards N] [--parallel] [--metrics OUT] [--record-profile OUT.json]
+[--repartition PROFILE.json] [--profile OUT.pstats]``
+    Run a workload and print its shard-count-invariant digest.  The
+    default ``mjpeg`` workload decodes the MJPEG stream and prints the
+    sha256 of the decoded frame set; ``--shards N`` partitions the
+    simulation across N conservative shards (``repro.sim.shard``); the
+    digest is identical for every shard count -- the CI ``shard-smoke``
+    job diffs them.  ``--metrics OUT`` additionally runs the live
+    telemetry plane and writes the merged registry (the ``metrics
+    sha256:`` line is likewise shard-count invariant -- the CI
+    ``metrics-smoke`` job diffs it).  ``--workload traffic`` runs the
+    generated fan-in/fan-out service graph (``--components`` wide, 10k+
+    supported) instead; its invariant line is ``trace sha256:`` -- the
+    CI ``scale-smoke`` job diffs it across shard counts.  Both workloads
+    can dump observed traffic (``--record-profile``) and re-partition
+    from a recorded profile (``--repartition``) -- the measure ->
+    repartition -> rerun loop.  ``--profile OUT.pstats`` wraps the run
+    in cProfile.
 ``top [--images N] [--shards N] [--watch]``
     Live ascii telemetry dashboard over the MJPEG SMP decode:
     per-component send/receive/latency/busy/restart table plus the
@@ -195,6 +206,78 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_profile(path: str) -> dict:
+    """Load and sanity-check a ``repro.profile/v1`` document."""
+    from repro.sim.shard import PROFILE_SCHEMA
+
+    with open(path) as fh:
+        profile = json.load(fh)
+    if profile.get("schema") != PROFILE_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {profile.get('schema')!r} is not {PROFILE_SCHEMA!r}"
+        )
+    return profile
+
+
+def _write_profile(path: str, payload: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path} ({len(payload['components'])} components, "
+          f"{len(payload['edges'])} edges)")
+
+
+def _cmd_run_traffic(args: argparse.Namespace) -> int:
+    """The 10k-component traffic model on the raw shard layer.
+
+    Prints the per-shard event balance and a shard-count-invariant
+    ``trace sha256:`` line (the CI ``scale-smoke`` contract).  With
+    ``--record-profile`` the observed traffic is dumped as a
+    ``repro.profile/v1`` document; feeding that back via
+    ``--repartition`` re-partitions by observed load -- the measure ->
+    repartition -> rerun loop on a skewed workload.
+    """
+    from repro.sim.shard import repartition_from_profile
+    from repro.workloads import TrafficConfig, run_traffic, traffic_profile_payload
+    from repro.workloads.traffic import build_traffic_graph
+
+    config = TrafficConfig(n_components=args.components, ticks=args.ticks)
+    graph = build_traffic_graph(config)
+    partition = None
+    if args.repartition is not None:
+        try:
+            profile = _load_profile(args.repartition)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        partition = repartition_from_profile(
+            graph["names"], graph["edges"], args.shards, profile
+        )
+        print(f"repartitioned {len(graph['names'])} components from "
+              f"{args.repartition}")
+    result = run_traffic(
+        config, args.shards, parallel=args.parallel, partition=partition, graph=graph
+    )
+    mean = result["events"] / args.shards
+    for k in range(args.shards):
+        n = result["shard_events"][k]
+        print(f"shard {k}: {n} events ({n / mean:.2f}x mean), "
+              f"busy {result['shard_busy_s'][k] * 1e3:.1f} ms")
+    print(f"sweeps: {result['sweeps']}  batch factor: "
+          f"{result['batch_factor']:.1f} (released/callback)")
+    print(
+        f"shards={args.shards} components={result['components']} "
+        f"sessions={result['sessions']} requests={result['requests']} "
+        f"events={result['events']} "
+        f"({result['events'] / result['wall_s']:,.0f} events/s wall) "
+        f"makespan={result['makespan_ns'] / 1e6:.3f} simulated ms"
+    )
+    print(f"trace sha256: {result['digest']}")
+    if args.record_profile is not None:
+        _write_profile(args.record_profile, traffic_profile_payload(result))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     """MJPEG SMP decode with a stable frame-set digest on stdout.
 
@@ -210,6 +293,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     so the ``metrics sha256:`` line is a second shard-count-invariant
     CI contract: the whole telemetry stream (histogram buckets, window
     series) is bit-identical for any ``--shards N``.
+
+    ``--workload traffic`` swaps the decode for the generated
+    fan-in/fan-out service graph (``repro.workloads.traffic``, sized by
+    ``--components``); its invariant line is ``trace sha256:``.  Both
+    workloads support ``--record-profile OUT.json`` (dump observed
+    traffic) and ``--repartition PROFILE.json`` (partition by a recorded
+    profile instead of the static heuristic).
     """
     from repro.mjpeg import generate_stream
     from repro.mjpeg.components import build_smp_assembly, frames_digest
@@ -218,6 +308,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+    if args.workload == "traffic":
+        return _cmd_run_traffic(args)
+    profile = None
+    if args.repartition is not None:
+        try:
+            profile = _load_profile(args.repartition)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    # The profile plane lives on the sharded runtime's staged transport;
+    # a 1-shard sharded run is output-identical to the plain runtime, so
+    # profile I/O at --shards 1 just switches runtimes.
+    needs_sharded_rt = profile is not None or args.record_profile is not None
     stream = generate_stream(args.images, 96, 96, quality=75, seed=0)
     app = build_smp_assembly(stream, use_stored_coefficients=True, keep_frames=True)
     if args.metrics is not None:
@@ -228,16 +331,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # stream is only meaningful over one fixed placement.
         for i, comp in enumerate(app.components.values()):
             comp.placement.setdefault("core", i)
-        rt = ShardedSmpSimRuntime(args.shards, parallel=args.parallel)
+        rt = ShardedSmpSimRuntime(args.shards, parallel=args.parallel, profile=profile)
         rt.deploy(app)
         enable_telemetry(rt)
         rt.start()
         rt.wait()
-    elif args.shards == 1:
+    elif args.shards == 1 and not needs_sharded_rt:
         rt = SmpSimRuntime()
         rt.run(app)
     else:
-        rt = ShardedSmpSimRuntime(args.shards, parallel=args.parallel)
+        rt = ShardedSmpSimRuntime(args.shards, parallel=args.parallel, profile=profile)
         rt.run(app)
     reports = rt.collect()
     rt.stop()
@@ -258,6 +361,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"reports={len(reports)} makespan={rt.makespan_ns / 1e6:.3f} simulated ms"
     )
     print(f"frames sha256: {frames_digest(frames)}")
+    if args.record_profile is not None:
+        _write_profile(args.record_profile, rt.profile())
     if args.metrics is not None:
         from repro.metrics import metrics_digest, write_metrics
 
@@ -753,9 +858,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run kernel hot-path benches and fail on a >25% regression "
         "versus the committed BENCH_kernel.json (writes nothing)",
     )
+    bench.add_argument(
+        "--profile", dest="pstats", metavar="OUT.pstats", default=None,
+        help="run under cProfile and dump the stats to OUT.pstats "
+        "(inspect with `python -m pstats OUT.pstats`)",
+    )
 
     run = sub.add_parser(
         "run", help="MJPEG SMP decode; prints the frame-set sha256 (CI contract)"
+    )
+    run.add_argument(
+        "--workload", choices=("mjpeg", "traffic"), default="mjpeg",
+        help="mjpeg: the paper's decode pipeline ('frames sha256:' "
+        "contract); traffic: the generated fan-in/fan-out service graph "
+        "of --components lightweight components ('trace sha256:' contract)",
+    )
+    run.add_argument(
+        "--components", type=int, default=1000, metavar="N",
+        help="traffic workload size (components in the service graph)",
+    )
+    run.add_argument(
+        "--ticks", type=int, default=3, metavar="T",
+        help="traffic workload load ticks (request waves per session)",
     )
     run.add_argument("--images", type=int, default=8, help="stream length")
     run.add_argument(
@@ -773,6 +897,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the live telemetry plane and write the merged registry "
         "to OUT (.prom/.txt = Prometheus text, else JSON); pins the "
         "placement and prints a shard-count-invariant 'metrics sha256:' line",
+    )
+    run.add_argument(
+        "--record-profile", metavar="OUT.json", default=None,
+        help="dump the observed traffic (per-component busy time, per-edge "
+        "message counts) as a repro.profile/v1 document after the run",
+    )
+    run.add_argument(
+        "--repartition", metavar="PROFILE.json", default=None,
+        help="partition by a recorded repro.profile/v1 document (observed "
+        "busy time weights the nodes, message counts weight the edges) "
+        "instead of the static min-cut heuristic",
+    )
+    run.add_argument(
+        "--profile", dest="pstats", metavar="OUT.pstats", default=None,
+        help="run under cProfile and dump the stats to OUT.pstats "
+        "(inspect with `python -m pstats OUT.pstats`)",
     )
 
     faults = sub.add_parser(
@@ -918,6 +1058,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _profiled(args: argparse.Namespace, fn) -> int:
+    """Run ``fn()`` under cProfile when ``--profile OUT.pstats`` was
+    given (the stats file is written even if the command fails)."""
+    path = getattr(args, "pstats", None)
+    if path is None:
+        return fn()
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        print(f"wrote {path} (inspect with `python -m pstats {path}`)")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -930,9 +1088,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "observe":
         return _cmd_observe(args)
     if args.command == "bench":
-        return _cmd_bench(args)
+        return _profiled(args, lambda: _cmd_bench(args))
     if args.command == "run":
-        return _cmd_run(args)
+        return _profiled(args, lambda: _cmd_run(args))
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "campaign":

@@ -46,9 +46,11 @@ from repro.sim.kernel import Kernel
 from repro.sim.mailbox import Envelope
 from repro.sim.resources import Channel
 from repro.sim.shard import (
+    PROFILE_SCHEMA,
     Shard,
     ShardedSimulation,
     partition_graph,
+    repartition_from_profile,
     shard_core_blocks,
     shard_span_source,
 )
@@ -620,15 +622,21 @@ class ShardedSmpSimRuntime(SmpSimRuntime):
         quantum_ns: int = 4_000_000,
         partition: Optional[Dict[str, int]] = None,
         parallel: bool = False,
+        profile: Optional[Dict[str, Any]] = None,
     ) -> None:
         """``partition`` pins component names to shard indices (wins over
         the heuristic); ``parallel`` runs each synchronization window on
-        one OS thread per shard instead of cooperatively."""
+        one OS thread per shard instead of cooperatively.  ``profile`` is
+        an observed-traffic document (``repro.profile/v1``, see
+        :meth:`profile`): when given, its busy times weight the nodes and
+        its message counts weight the edges of the deploy-time partition
+        -- the measure -> repartition -> rerun loop."""
         if n_shards < 1:
             raise RuntimeError_(f"need at least one shard, got {n_shards}")
         self.n_shards = int(n_shards)
         self.partition_hint = dict(partition or {})
         self.parallel = parallel
+        self.profile_hint = profile
         super().__init__(platform=platform, quantum_ns=quantum_ns)
 
     def _init_system(self) -> None:
@@ -647,6 +655,10 @@ class ShardedSmpSimRuntime(SmpSimRuntime):
         self.sim = ShardedSimulation(self.shards)
         self._span_sources = [shard_span_source(i) for i in range(self.n_shards)]
         self._routes: Dict[Any, Tuple[int, int]] = {}  # provided iface -> (shard, core)
+        #: Observed per-edge message counts ((src, dst) component names),
+        #: fed by _transfer -- the raw material of :meth:`profile` and
+        #: the cross-shard traffic gauges.
+        self._edge_traffic: Dict[Tuple[str, str], int] = {}
         # Base-class bookkeeping (allocation timestamps, heap regions)
         # rides shard 0; everything delivery- or clock-sensitive is
         # routed per shard below.
@@ -684,7 +696,12 @@ class ShardedSmpSimRuntime(SmpSimRuntime):
                 affinity[name] = placement["shard"]
             elif "core" in placement and name not in affinity:
                 affinity[name] = self._shard_of_core(placement["core"])
-        assignment = partition_graph(names, edges, self.n_shards, affinity=affinity)
+        if self.profile_hint is not None:
+            assignment = repartition_from_profile(
+                names, edges, self.n_shards, self.profile_hint, affinity=affinity
+            )
+        else:
+            assignment = partition_graph(names, edges, self.n_shards, affinity=affinity)
         self._edges = edges
         next_slot = [0] * self.n_shards
         for name in names:
@@ -785,6 +802,9 @@ class ShardedSmpSimRuntime(SmpSimRuntime):
 
     def _transfer(self, src: Component, target, message: Message) -> Generator:
         dst_shard_idx, dst_core = self._routes[target]
+        edge = (src.name, target.component.name)
+        traffic = self._edge_traffic
+        traffic[edge] = traffic.get(edge, 0) + 1
         src_cont = self.containers[src.name]
         src_shard = self.shards[src_cont.extra["shard"]]
         src_core = src_cont.extra["core"]
@@ -872,6 +892,67 @@ class ShardedSmpSimRuntime(SmpSimRuntime):
         if stuck:
             states = {name: self.containers[name].handle.state for name in stuck}
             raise RuntimeError_(f"components did not finish: {states}")
+
+    # -- observed-traffic profile ----------------------------------------------
+
+    def profile(self) -> Dict[str, Any]:
+        """The observed-traffic document of this run (``repro.profile/v1``).
+
+        Per-component CPU busy time plus the per-edge message counts
+        recorded by :meth:`_transfer`, in the shape
+        :func:`repro.sim.shard.repartition_from_profile` consumes: dump
+        it after ``wait()``, feed it back as the ``profile=`` argument
+        (or ``repro run --repartition``) and the next run's partition is
+        weighted by what this one actually did."""
+        received: Dict[str, int] = {}
+        for (_src, dst), n in self._edge_traffic.items():
+            received[dst] = received.get(dst, 0) + n
+        components = {}
+        for name, cont in self.containers.items():
+            busy = self._busy_ns_of(cont)
+            components[name] = {
+                "busy_ns": int(busy) if busy is not None else 0,
+                "events": received.get(name, 0),
+                "shard": cont.extra["shard"],
+            }
+        edges = [
+            {"src": src, "dst": dst, "messages": n}
+            for (src, dst), n in sorted(self._edge_traffic.items())
+        ]
+        return {
+            "schema": PROFILE_SCHEMA,
+            "workload": "runtime",
+            "n_shards": self.n_shards,
+            "components": components,
+            "edges": edges,
+            "shards": [
+                {"shard": s.index, "busy_s": s.busy_s} for s in self.shards
+            ],
+        }
+
+    def stamp_telemetry(self) -> None:
+        """Component gauges (via the base class), plus the shard plane:
+        per-shard host busy time and the cross-shard cut traffic.  All
+        *gauges* -- shard layout is an execution property, not a
+        simulation result, so it must stay out of ``metrics_digest``
+        (which skips gauges) to keep the shard-invariance contract."""
+        super().stamp_telemetry()
+        regs = self.metrics
+        if not isinstance(regs, list):
+            return
+        cut: Dict[Tuple[int, int], int] = {}
+        for (src, dst), n in self._edge_traffic.items():
+            s = self.containers[src].extra["shard"]
+            d = self.containers[dst].extra["shard"]
+            if s != d:
+                cut[(s, d)] = cut.get((s, d), 0) + n
+        for k, (shard, reg) in enumerate(zip(self.shards, regs)):
+            reg.gauge("shard_busy_seconds", shard=k).set(shard.busy_s, reg.last_ns)
+            reg.gauge("shard_sweeps", shard=k).set(self.sim.sweeps, reg.last_ns)
+            out = sum(n for (s, _d), n in cut.items() if s == k)
+            reg.gauge("shard_cut_messages", shard=k, direction="out").set(out, reg.last_ns)
+            inn = sum(n for (_s, d), n in cut.items() if d == k)
+            reg.gauge("shard_cut_messages", shard=k, direction="in").set(inn, reg.last_ns)
 
     def collect(
         self, plan: Optional[Iterable[Tuple[str, str]]] = None

@@ -92,6 +92,12 @@ def round_robin_partition(n_items: int, n_parts: int) -> List[List[int]]:
     ``s, s + n_parts, s + 2*n_parts, ...``."""
     if n_parts < 1:
         raise ValueError(f"need at least one part, got {n_parts}")
+    if n_parts > n_items:
+        raise ValueError(
+            f"{n_parts} parts over {n_items} item(s) would leave "
+            f"{n_parts - n_items} empty part(s); clamp the part count to "
+            f"the item count (e.g. min(n_parts, n_items))"
+        )
     return [list(range(s, n_items, n_parts)) for s in range(n_parts)]
 
 
@@ -134,6 +140,7 @@ def partition_graph(
     n_shards: int,
     affinity: Optional[Dict[str, int]] = None,
     weights: Optional[Dict[str, float]] = None,
+    edge_weights: Optional[Dict[Tuple[str, str], float]] = None,
 ) -> Dict[str, int]:
     """Partition a component graph into ``n_shards`` balanced parts.
 
@@ -142,7 +149,12 @@ def partition_graph(
     tightly coupled neighborhoods land together and the cut stays small.
     ``affinity`` pins named components to shards (user-supplied
     placement wins over the heuristic); ``weights`` biases balance
-    (default: every component weighs 1).  Fully deterministic: ties
+    (default: every component weighs 1).  ``edge_weights`` (keyed by
+    directed ``(src, dst)`` pairs, accumulated symmetrically) steers the
+    BFS to expand the *heaviest* neighbor first, so observed-hot edges
+    are the last ones a shard boundary cuts -- this is how a measured
+    traffic profile feeds back into the cut
+    (:func:`repartition_from_profile`).  Fully deterministic: ties
     follow the declaration order of ``names`` and ``edges``.
     """
     if n_shards < 1:
@@ -150,6 +162,11 @@ def partition_graph(
     names = list(names)
     if len(set(names)) != len(names):
         raise ValueError("component names must be unique")
+    if n_shards > len(names):
+        raise ValueError(
+            f"cannot spread {len(names)} component(s) over {n_shards} shards "
+            f"without empty shards; use at most {len(names)} shards"
+        )
     affinity = dict(affinity or {})
     for name, shard in affinity.items():
         if name not in set(names):
@@ -166,8 +183,20 @@ def partition_graph(
         if a != b:
             adjacency[a].append(b)
             adjacency[b].append(a)
+    pair_weight: Dict[Tuple[str, str], float] = {}
+    for (a, b), w in (edge_weights or {}).items():
+        if a not in adjacency or b not in adjacency:
+            raise ValueError(f"edge weight ({a!r}, {b!r}) references unknown component")
+        if a != b:
+            key = (a, b) if order_of[a] <= order_of[b] else (b, a)
+            pair_weight[key] = pair_weight.get(key, 0.0) + float(w)
 
-    # Deterministic BFS over every connected part, seeds in name order.
+    def hop_weight(a: str, b: str) -> float:
+        key = (a, b) if order_of[a] <= order_of[b] else (b, a)
+        return pair_weight.get(key, 0.0)
+
+    # Deterministic BFS over every connected part, seeds in name order;
+    # within a node, heaviest observed edge expands first.
     bfs: List[str] = []
     seen = set()
     for seed in names:
@@ -178,7 +207,10 @@ def partition_graph(
         while queue:
             node = queue.pop(0)
             bfs.append(node)
-            for nxt in sorted(set(adjacency[node]), key=order_of.__getitem__):
+            for nxt in sorted(
+                set(adjacency[node]),
+                key=lambda m: (-hop_weight(node, m), order_of[m]),
+            ):
                 if nxt not in seen:
                     seen.add(nxt)
                     queue.append(nxt)
@@ -210,6 +242,76 @@ def cut_edges(
     return [(a, b) for a, b in edges if assignment[a] != assignment[b]]
 
 
+#: Schema tag of the observed-traffic profile JSON (``repro run
+#: --record-profile`` writes it, ``--repartition`` reads it back).
+PROFILE_SCHEMA = "repro.profile/v1"
+
+
+def profile_weights(
+    profile: Dict,
+) -> Tuple[Dict[str, float], Dict[Tuple[str, str], float]]:
+    """Extract ``(node_weights, edge_weights)`` from a traffic profile.
+
+    A profile is the JSON document a measured run records: per-component
+    observed busy time (``components: {name: {busy_ns, events, ...}}``,
+    bare numbers accepted) and per-connection observed message counts
+    (``edges: [{src, dst, messages}]``).  Node weights fall back from
+    ``busy_ns`` to ``events`` to 1, floored at 1 so an idle component
+    still occupies space on its shard.
+    """
+    schema = profile.get("schema", PROFILE_SCHEMA)
+    if schema != PROFILE_SCHEMA:
+        raise ValueError(f"unknown profile schema {schema!r}; expected {PROFILE_SCHEMA!r}")
+    node_weights: Dict[str, float] = {}
+    for name, obs in profile.get("components", {}).items():
+        if isinstance(obs, dict):
+            value = obs.get("busy_ns")
+            if not value:
+                value = obs.get("events", 1)
+        else:
+            value = obs
+        node_weights[name] = max(1.0, float(value))
+    edge_weights: Dict[Tuple[str, str], float] = {}
+    for edge in profile.get("edges", []):
+        key = (edge["src"], edge["dst"])
+        edge_weights[key] = edge_weights.get(key, 0.0) + float(edge.get("messages", 1))
+    return node_weights, edge_weights
+
+
+def repartition_from_profile(
+    names: Sequence[str],
+    edges: Iterable[Tuple[str, str]],
+    n_shards: int,
+    profile: Dict,
+    affinity: Optional[Dict[str, int]] = None,
+) -> Dict[str, int]:
+    """Re-partition a component graph from *observed* weights.
+
+    The adaptive half of the measure -> repartition -> rerun loop: the
+    static heuristic assumes every component weighs 1 and every edge
+    matters equally; a recorded profile replaces both with what the
+    workload actually did (node weight = busy ns, edge weight = message
+    count), so skewed workloads rebalance and hot paths stop straddling
+    the cut.  Components present in the graph but absent from the
+    profile weigh 1 -- a profile from a slightly older deploy still
+    partitions the current graph.
+    """
+    node_weights, edge_weights = profile_weights(profile)
+    known = set(names)
+    node_weights = {n: w for n, w in node_weights.items() if n in known}
+    edge_weights = {
+        (a, b): w for (a, b), w in edge_weights.items() if a in known and b in known
+    }
+    return partition_graph(
+        names,
+        edges,
+        n_shards,
+        affinity=affinity,
+        weights=node_weights,
+        edge_weights=edge_weights,
+    )
+
+
 # -- the shard -----------------------------------------------------------------
 
 
@@ -236,6 +338,11 @@ class Shard:
         #: time below ``now + self_lookahead``, which is what makes the
         #: batch release horizon safe.
         self.self_lookahead: float = _INF
+        #: Release staged envelopes as one kernel callback per distinct
+        #: ``recv_time`` (:meth:`Staging.release_batched`) instead of one
+        #: per envelope.  On by default; the per-envelope path is kept
+        #: for the batch-equivalence tests and as a bisection tool.
+        self.batch_release = True
         #: Wall-clock seconds spent inside :meth:`run_until` -- the
         #: per-shard busy time the critical-path speedup metric uses.
         self.busy_s = 0.0
@@ -260,11 +367,11 @@ class Shard:
         self.inbox.post(envelope)
 
     def drain_inbox(self) -> int:
-        """Move posted envelopes into the staging heap (owner only)."""
-        items = self.inbox.drain()
-        for env in items:
-            self.staging.push(env)
-        return len(items)
+        """Move posted envelopes into the staging heap (owner only).
+
+        The whole window's worth of cross-shard arrivals lands as one
+        chunk: a single O(n) heap merge instead of n sifts."""
+        return self.staging.push_many(self.inbox.drain())
 
     # -- conservative execution ----------------------------------------------
 
@@ -290,11 +397,16 @@ class Shard:
         """
         kernel = self.kernel
         la = self.self_lookahead
+        release = (
+            self.staging.release_batched
+            if self.batch_release
+            else self.staging.release_below
+        )
         t0 = perf_counter()
         try:
             while True:
                 horizon = min(bound, kernel.now + la)
-                self.staging.release_below(horizon, kernel.schedule_at)
+                release(horizon, kernel.schedule_at)
                 nxt = self.staging.min_recv_time()
                 stop = horizon if nxt is None else min(horizon, nxt)
                 t = kernel.peek()
@@ -317,7 +429,7 @@ class Shard:
                     )
                 # Nothing can happen in (now, nt): idle-advance so the
                 # release horizon reaches the next staged envelope.
-                kernel._now = int(nt)
+                kernel.idle_advance(nt)
         finally:
             self.busy_s += perf_counter() - t0
 
@@ -429,7 +541,7 @@ class ShardedSimulation:
         t_max = max(s.kernel.now for s in self.shards)
         for s in self.shards:
             if s.kernel.now < t_max:
-                s.kernel._now = t_max
+                s.kernel.idle_advance(t_max)
         return True
 
     def run(self) -> int:

@@ -1,0 +1,357 @@
+"""The traffic-model workload: a generated fan-in/fan-out service graph.
+
+The "millions of users" scenario running *inside* the simulator: N
+sessions issue requests into a service graph of lightweight components
+arranged in four tiers --
+
+    ingress (load balancers) -> frontends -> backends (fan-out) -> sinks
+
+-- all on the raw shard layer (:mod:`repro.sim.shard`), so a 10k-
+component deployment is a table of handlers, not 10k OS-model threads.
+Every hop is an :class:`~repro.sim.mailbox.Envelope` with the usual
+total-order key, which gives the workload the same determinism oracle
+as the MJPEG pipeline: the per-component delivery sequence -- and hence
+the trace digest -- is identical for every shard count.
+
+Two properties are deliberate:
+
+- **Tick alignment.**  All requests of a tick enter at the same instant
+  and every hop costs the same fixed ``compute_ns + link_ns``, so each
+  tier's deliveries for one tick share a receive timestamp.  That is
+  the batched-release fast path (one kernel callback per distinct
+  timestamp) at full strength -- exactly the shape of a load-balanced
+  service where queues drain in waves.
+- **Session skew.**  A small share of sessions is "heavy" (issues
+  ``heavy_factor`` requests per tick) and heavy sessions concentrate on
+  the low-numbered ingresses, so a static unit-weight partition leaves
+  some shards hot.  The observed profile (per-component event counts,
+  per-edge message counts) feeds
+  :func:`repro.sim.shard.repartition_from_profile` -- the measure ->
+  repartition -> rerun loop this workload exists to exercise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.mailbox import Envelope
+from repro.sim.shard import (
+    PROFILE_SCHEMA,
+    Shard,
+    ShardedSimulation,
+    partition_graph,
+)
+
+_MASK64 = (1 << 64) - 1
+_FNV = 1099511628211
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape and timing of one traffic run.
+
+    ``n_components`` is split across the four tiers (~1.5% ingress, 25%
+    frontends, ~6% sinks, the rest backends).  Every request costs
+    ``2 + 2 * fanout`` deliveries (ingress, frontend, ``fanout``
+    backends, their sinks), so total events are
+    ``requests * (2 + 2 * fanout)`` with
+    ``requests = ticks * sum(per-session activity)``.
+    """
+
+    n_components: int = 1000
+    n_sessions: int = 0  # 0 = n_components // 4
+    ticks: int = 3
+    fanout: int = 2
+    tick_ns: int = 1_000_000
+    compute_ns: int = 2_000
+    link_ns: int = 500
+    spin: int = 120  # pure-python work per event (honest busy time)
+    heavy_share: float = 0.1  # share of sessions that are heavy
+    heavy_factor: int = 4  # requests per tick for a heavy session
+    seed: int = 1
+
+    @property
+    def sessions(self) -> int:
+        return self.n_sessions or max(4, self.n_components // 4)
+
+
+def _tier_sizes(n: int) -> Tuple[int, int, int, int]:
+    if n < 8:
+        raise ValueError(f"traffic graph needs at least 8 components, got {n}")
+    n_ingress = max(1, n // 64)
+    n_front = max(1, n // 4)
+    n_sink = max(1, n // 16)
+    n_back = n - n_ingress - n_front - n_sink
+    return n_ingress, n_front, n_back, n_sink
+
+
+def build_traffic_graph(config: TrafficConfig):
+    """Build the static service graph: names, edges and route tables.
+
+    Deterministic for a given config (the only randomness is the seeded
+    backend-pool sampling), and independent of shard count -- the graph
+    is what gets partitioned, not a partition artifact.
+    """
+    n_ingress, n_front, n_back, n_sink = _tier_sizes(config.n_components)
+    rng = Random(config.seed)
+
+    names: List[str] = []
+    names += [f"lb{i}" for i in range(n_ingress)]
+    names += [f"fe{i}" for i in range(n_front)]
+    names += [f"be{i}" for i in range(n_back)]
+    names += [f"sk{i}" for i in range(n_sink)]
+    base_front = n_ingress
+    base_back = n_ingress + n_front
+    base_sink = n_ingress + n_front + n_back
+
+    edges: List[Tuple[str, str]] = []
+    # Frontends are dealt to ingresses round-robin.
+    fronts_of: List[List[int]] = [[] for _ in range(n_ingress)]
+    for f in range(n_front):
+        fronts_of[f % n_ingress].append(f)
+        edges.append((names[f % n_ingress], names[base_front + f]))
+    # Each frontend owns a small sampled pool of backends.
+    pool_size = min(n_back, max(config.fanout, 2) + 2)
+    pool_of: List[List[int]] = []
+    for f in range(n_front):
+        pool = sorted(rng.sample(range(n_back), pool_size))
+        pool_of.append(pool)
+        for b in pool:
+            edges.append((names[base_front + f], names[base_back + b]))
+    # Backends report to a fixed sink.
+    sink_of = [b % n_sink for b in range(n_back)]
+    for b in range(n_back):
+        edges.append((names[base_back + b], names[base_sink + sink_of[b]]))
+
+    return {
+        "names": names,
+        "edges": edges,
+        "tiers": (n_ingress, n_front, n_back, n_sink),
+        "bases": (0, base_front, base_back, base_sink),
+        "fronts_of": fronts_of,
+        "pool_of": pool_of,
+        "sink_of": sink_of,
+    }
+
+
+def _activity(config: TrafficConfig, session: int) -> int:
+    heavy = int(config.sessions * config.heavy_share)
+    return config.heavy_factor if session < heavy else 1
+
+
+def _spin(n: int) -> int:
+    """Pure-python per-event work, so per-shard busy time is real CPU
+    time and the critical-path speedup is honest (same rationale as the
+    bench's spin loop)."""
+    x = 0
+    for i in range(n):
+        x += i
+    return x
+
+
+def run_traffic(
+    config: TrafficConfig,
+    n_shards: int,
+    parallel: bool = False,
+    partition: Optional[Dict[str, int]] = None,
+    batch_release: bool = True,
+    graph: Optional[Dict] = None,
+) -> Dict:
+    """Run the traffic model on ``n_shards`` conservative shards.
+
+    Returns a result dict with the event totals, per-shard busy times,
+    the shard-count-invariant ``digest`` (sha256 over every component's
+    delivery-sequence fold), the observed per-component/per-edge
+    activity (for :func:`traffic_profile_payload`) and the batching
+    counters.  ``partition`` overrides the static heuristic (that is
+    how a recorded profile re-enters via ``repartition_from_profile``).
+    """
+    graph = graph or build_traffic_graph(config)
+    names: List[str] = graph["names"]
+    n_ingress, n_front, n_back, n_sink = graph["tiers"]
+    _, base_front, base_back, base_sink = graph["bases"]
+    fronts_of, pool_of, sink_of = graph["fronts_of"], graph["pool_of"], graph["sink_of"]
+    index_of = {name: i for i, name in enumerate(names)}
+
+    assignment = partition or partition_graph(names, graph["edges"], n_shards)
+    shard_of = [assignment[name] for name in names]
+
+    shards = [Shard(i) for i in range(n_shards)]
+    for shard in shards:
+        shard.batch_release = batch_release
+    sim = ShardedSimulation(shards)
+    hop_ns = config.compute_ns + config.link_ns
+    # Every hop takes at least compute + link after its trigger, so the
+    # pairwise lookahead is hop_ns for linked shards and for each
+    # shard's self-link.
+    linked = set()
+    for a, b in graph["edges"]:
+        linked.add((shard_of[index_of[a]], shard_of[index_of[b]]))
+    for k in range(n_shards):
+        linked.add((k, k))
+    for src, dst in sorted(linked):
+        sim.add_link(src, dst, hop_ns)
+
+    n = len(names)
+    folds = [0] * n  # per-component delivery-sequence hash (layout-invariant)
+    comp_events = [0] * n
+    edge_msgs: Dict[Tuple[int, int], int] = {}
+    shard_events = [0] * n_shards
+    seqs = [0] * n  # per-source send counters (layout-invariant order)
+    spin = config.spin
+    fanout = config.fanout
+
+    def fold(idx: int, src_idx: int, seq: int, t: int) -> None:
+        folds[idx] = (
+            folds[idx] * _FNV + (t * 1_000_003 ^ (src_idx + 2) * 8_191 ^ seq)
+        ) & _MASK64
+        comp_events[idx] += 1
+
+    def send(src_idx: int, dst_idx: int, t_send: int, deliver_args) -> None:
+        seq = seqs[src_idx]
+        seqs[src_idx] = seq + 1
+        edge = (src_idx, dst_idx)
+        edge_msgs[edge] = edge_msgs.get(edge, 0) + 1
+        recv = t_send + config.link_ns
+        env = Envelope(recv, t_send, names[src_idx], "out", seq, deliver_args(seq, recv))
+        me, dst = shard_of[src_idx], shard_of[dst_idx]
+        (shards[dst].stage if dst == me else shards[dst].post)(env)
+
+    def on_sink(idx: int, src_idx: int, seq: int, t: int) -> None:
+        shard_events[shard_of[idx]] += 1
+        _spin(spin)
+        fold(idx, src_idx, seq, t)
+
+    def on_backend(idx: int, src_idx: int, seq: int, t: int) -> None:
+        shard_events[shard_of[idx]] += 1
+        _spin(spin)
+        fold(idx, src_idx, seq, t)
+        sk = base_sink + sink_of[idx - base_back]
+        send(
+            idx, sk, t + config.compute_ns,
+            lambda q, r: lambda: on_sink(sk, idx, q, r),
+        )
+
+    def on_frontend(idx: int, src_idx: int, seq: int, t: int, session: int) -> None:
+        shard_events[shard_of[idx]] += 1
+        _spin(spin)
+        fold(idx, src_idx, seq, t)
+        pool = pool_of[idx - base_front]
+        t_send = t + config.compute_ns
+        for j in range(fanout):
+            be = base_back + pool[(session + j) % len(pool)]
+            send(
+                idx, be, t_send,
+                lambda q, r, be=be: lambda: on_backend(be, idx, q, r),
+            )
+
+    def on_ingress(idx: int, seq: int, t: int, session: int, tick: int) -> None:
+        shard_events[shard_of[idx]] += 1
+        _spin(spin)
+        fold(idx, -1, seq, t)
+        fronts = fronts_of[idx]
+        fe = base_front + fronts[(session + tick) % len(fronts)]
+        send(
+            idx, fe, t + config.compute_ns,
+            lambda q, r: lambda: on_frontend(fe, idx, q, r, session),
+        )
+
+    # Inject every request up front: session s, tick k, copy j -- all
+    # requests of a tick enter their ingress at the same instant.
+    max_req = max(config.heavy_factor, 1)
+    n_requests = 0
+    for s in range(config.sessions):
+        lb = s % n_ingress
+        for k in range(config.ticks):
+            t0 = (k + 1) * config.tick_ns
+            for j in range(_activity(config, s)):
+                seq = (s * config.ticks + k) * max_req + j
+                edge_msgs[(-1, lb)] = edge_msgs.get((-1, lb), 0) + 1
+                shards[shard_of[lb]].stage(
+                    Envelope(
+                        t0, 0, "client", f"s{s}", seq,
+                        lambda lb=lb, q=seq, t=t0, s=s, k=k: on_ingress(lb, q, t, s, k),
+                    )
+                )
+                n_requests += 1
+
+    t0 = time.perf_counter()
+    if parallel:
+        sim.run_parallel()
+    else:
+        sim.run()
+    wall_s = time.perf_counter() - t0
+
+    events = sum(comp_events)
+    expected = n_requests * (2 + 2 * fanout)
+    if events != expected:
+        raise AssertionError(
+            f"traffic run delivered {events} events, expected {expected}"
+        )
+    blob = struct.pack(f"<{n}Q", *folds) + struct.pack(f"<{n}I", *comp_events)
+    digest = hashlib.sha256(blob).hexdigest()
+
+    busy = [shard.busy_s for shard in shards]
+    released = sum(s.staging.released for s in shards)
+    batches = sum(s.staging.batches for s in shards)
+    return {
+        "config": config,
+        "names": names,
+        "assignment": assignment,
+        "n_shards": n_shards,
+        "components": n,
+        "sessions": config.sessions,
+        "requests": n_requests,
+        "events": events,
+        "digest": digest,
+        "wall_s": wall_s,
+        "sweeps": sim.sweeps,
+        "busy_s": sum(busy),
+        "shard_busy_s": busy,
+        "max_shard_busy_s": max(busy),
+        "shard_events": shard_events,
+        "released": released,
+        "batches": batches,
+        "batch_factor": released / batches if batches else 1.0,
+        "comp_events": comp_events,
+        "edge_msgs": edge_msgs,
+        "makespan_ns": max(s.kernel.now for s in shards),
+    }
+
+
+def traffic_profile_payload(result: Dict) -> Dict:
+    """The observed-traffic profile JSON for a finished run -- the
+    document ``repartition_from_profile`` consumes.  Busy time per
+    component is virtual (events x compute_ns): deterministic, so the
+    measure -> repartition -> rerun loop is reproducible."""
+    config: TrafficConfig = result["config"]
+    names: Sequence[str] = result["names"]
+    components = {
+        name: {
+            "events": result["comp_events"][i],
+            "busy_ns": result["comp_events"][i] * config.compute_ns,
+        }
+        for i, name in enumerate(names)
+        if result["comp_events"][i]
+    }
+    edges = [
+        {"src": names[a], "dst": names[b], "messages": m}
+        for (a, b), m in sorted(result["edge_msgs"].items())
+        if a >= 0
+    ]
+    return {
+        "schema": PROFILE_SCHEMA,
+        "workload": "traffic",
+        "n_shards": result["n_shards"],
+        "components": components,
+        "edges": edges,
+        "shards": [
+            {"shard": k, "events": result["shard_events"][k], "busy_s": result["shard_busy_s"][k]}
+            for k in range(result["n_shards"])
+        ],
+    }

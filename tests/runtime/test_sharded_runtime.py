@@ -133,3 +133,57 @@ def test_merge_buffers_applies_clock_offsets():
     b.append((10, 1, "y", "compute", "op", "I", {}))
     merged = merge_buffers([a, b], clock_offsets_ns=[0, 500])
     assert [(row[0], row[2]) for row in merged.rows()] == [(100, "x"), (510, "y")]
+
+
+def test_profile_roundtrip_preserves_frames_and_reshapes_partition():
+    """The measure -> repartition -> rerun loop on the runtime: the
+    recorded profile is schema-clean, feeds back through ``profile=``,
+    and the reweighted partition still decodes the identical frame set."""
+    import json
+
+    from repro.sim.shard import PROFILE_SCHEMA
+
+    reference, rt, _ = _decode(2)
+    profile = rt.profile()
+    assert profile["schema"] == PROFILE_SCHEMA
+    json.dumps(profile)  # CLI --record-profile writes this verbatim
+    assert set(profile["components"]) == set(rt.containers)
+    assert all(c["busy_ns"] >= 0 for c in profile["components"].values())
+    assert any(e["messages"] > 0 for e in profile["edges"])
+
+    stream = generate_stream(N_IMAGES, 96, 96, quality=75, seed=0)
+    app = build_smp_assembly(stream, use_stored_coefficients=True, keep_frames=True)
+    rerun = ShardedSmpSimRuntime(2, profile=profile)
+    rerun.run(app)
+    rerun.collect()
+    rerun.stop()
+    assert frames_digest(app.components["Reorder"].frames) == reference
+
+
+def test_shard_plane_gauges_are_stamped_and_digest_safe():
+    """The shard telemetry satellite: per-shard busy/sweeps/cut-traffic
+    land as *gauges* (shard-layout-dependent, so they must stay outside
+    the digest) and the metrics sha256 stays shard-count invariant."""
+    from repro.metrics import collect_telemetry, enable_telemetry, metrics_digest
+
+    def run(n_shards):
+        stream = generate_stream(N_IMAGES, 96, 96, quality=75, seed=0)
+        app = build_smp_assembly(stream, use_stored_coefficients=True)
+        for i, comp in enumerate(app.components.values()):
+            comp.placement.setdefault("core", i)  # pinned placement
+        rt = ShardedSmpSimRuntime(n_shards)
+        rt.deploy(app)
+        enable_telemetry(rt)
+        rt.start()
+        rt.wait()
+        rt.stop()
+        return collect_telemetry(rt)
+
+    reg2, reg4 = run(2), run(4)
+    assert metrics_digest(reg2) == metrics_digest(reg4)
+    instruments = reg4.snapshot()["instruments"]
+    busy = [k for k in instruments if k.startswith("shard_busy_seconds")]
+    cut = [k for k in instruments if k.startswith("shard_cut_messages")]
+    assert len(busy) == 4 and len(cut) == 8  # in/out per shard
+    assert all(instruments[k]["kind"] == "gauge" for k in busy + cut)
+    assert sum(instruments[k]["value"] for k in cut) > 0  # real cross traffic

@@ -17,12 +17,15 @@ from repro.sim.mailbox import Envelope, Mailbox, Staging
 from repro.sim.process import Process
 from repro.sim.resources import Channel
 from repro.sim.shard import (
+    PROFILE_SCHEMA,
     SHARD_SPAN_BITS,
     Shard,
     ShardedSimulation,
     cut_edges,
     merge_shard_results,
     partition_graph,
+    profile_weights,
+    repartition_from_profile,
     round_robin_partition,
     shard_core_blocks,
     shard_span_source,
@@ -111,7 +114,10 @@ def test_round_robin_partition_matches_strided_ranges():
         list(range(1, 10, 3)),
         list(range(2, 10, 3)),
     ]
-    assert round_robin_partition(2, 4) == [[0], [1], [], []]
+    # More parts than items would silently yield empty buckets; callers
+    # clamp (min(n_parts, n_items)) and the helper refuses otherwise.
+    with pytest.raises(ValueError, match="empty part"):
+        round_robin_partition(2, 4)
     with pytest.raises(ValueError):
         round_robin_partition(4, 0)
 
@@ -162,6 +168,88 @@ def test_partition_graph_rejects_bad_input():
         partition_graph(["a"], [], 2, affinity={"a": 5})
     with pytest.raises(ValueError):
         partition_graph(["a"], [], 2, affinity={"zz": 0})
+
+
+def test_partition_graph_rejects_more_shards_than_components():
+    with pytest.raises(ValueError, match="empty shards"):
+        partition_graph(["a", "b"], [], 3)
+
+
+def test_partition_graph_deterministic_under_affinity_pins():
+    names = [f"c{i}" for i in range(9)]
+    edges = [(f"c{i}", f"c{i + 1}") for i in range(8)]
+    affinity = {"c0": 2, "c8": 0}
+    weights = {f"c{i}": float(i + 1) for i in range(9)}
+    first = partition_graph(names, edges, 3, weights=weights, affinity=affinity)
+    for _ in range(3):
+        again = partition_graph(names, edges, 3, weights=weights, affinity=affinity)
+        assert again == first
+    assert first["c0"] == 2 and first["c8"] == 0
+    sizes = [sum(1 for s in first.values() if s == k) for k in range(3)]
+    assert all(n >= 1 for n in sizes)
+
+
+def test_partition_graph_edge_weights_steer_expansion():
+    # A hub with three spokes plus a detached pair: the heavy edge must
+    # pull its endpoint into the hub's shard ahead of the light spokes.
+    names = ["hub", "x", "y", "z", "m", "n"]
+    edges = [("hub", "x"), ("hub", "y"), ("hub", "z"), ("m", "n")]
+    heavy = partition_graph(names, edges, 2, edge_weights={("hub", "z"): 100.0})
+    assert heavy["z"] == heavy["hub"]
+    assert heavy == partition_graph(names, edges, 2, edge_weights={("hub", "z"): 100.0})
+    with pytest.raises(ValueError):
+        partition_graph(names, edges, 2, edge_weights={("hub", "nope"): 1.0})
+
+
+def test_profile_weights_extracts_node_and_edge_weights():
+    profile = {
+        "schema": PROFILE_SCHEMA,
+        "components": {
+            "a": {"busy_ns": 3000, "events": 5},
+            "b": 1000,
+            "c": {"events": 2},
+            "d": {},
+        },
+        "edges": [
+            {"src": "a", "dst": "b", "messages": 7},
+            {"src": "b", "dst": "a", "messages": 3},
+        ],
+    }
+    node_w, edge_w = profile_weights(profile)
+    assert node_w["a"] == 3000.0
+    assert node_w["b"] == 1000.0
+    assert node_w["c"] == 2.0  # busy_ns absent: falls back to events
+    assert node_w["d"] == 1.0  # floors at 1.0
+    assert edge_w[("a", "b")] == 7.0 and edge_w[("b", "a")] == 3.0
+    with pytest.raises(ValueError, match="schema"):
+        profile_weights({"schema": "nope", "components": {}})
+
+
+def test_repartition_from_profile_balances_by_observed_load():
+    # Two hot chain heads: unit-weight partitioning puts both halves of
+    # the chain together; observed busy time forces the hot pair apart.
+    names = ["hot1", "hot2", "cold1", "cold2"]
+    edges = [("hot1", "hot2"), ("hot2", "cold1"), ("cold1", "cold2")]
+    profile = {
+        "schema": PROFILE_SCHEMA,
+        "components": {
+            "hot1": {"busy_ns": 100_000},
+            "hot2": {"busy_ns": 100_000},
+            "cold1": {"busy_ns": 10},
+            "cold2": {"busy_ns": 10},
+        },
+        "edges": [{"src": "hot2", "dst": "cold1", "messages": 1}],
+    }
+    assignment = repartition_from_profile(names, edges, 2, profile)
+    assert assignment["hot1"] != assignment["hot2"]
+    # Unknown components in the profile are ignored, not an error.
+    profile["components"]["ghost"] = {"busy_ns": 1}
+    profile["edges"].append({"src": "ghost", "dst": "hot1", "messages": 5})
+    assert repartition_from_profile(names, edges, 2, profile) == assignment
+    pinned = repartition_from_profile(
+        names, edges, 2, profile, affinity={"hot1": 1}
+    )
+    assert pinned["hot1"] == 1
 
 
 # -- span-id ranges (shard-safe tracer ids) ------------------------------------
@@ -247,15 +335,60 @@ def test_staging_releases_in_key_order_below_horizon():
     assert len(staging) == 1
 
 
+def test_push_many_matches_individual_pushes():
+    envs = [
+        Envelope(i % 7 + 1, 0, f"c{i % 3}", "out", i, lambda: None) for i in range(40)
+    ]
+    one, many = Staging(), Staging()
+    for env in envs:
+        one.push(env)
+    assert many.push_many(envs) == 40
+    released_one, released_many = [], []
+    one.release_below(100, lambda t, cb: released_one.append((t, cb)))
+    many.release_below(100, lambda t, cb: released_many.append((t, cb)))
+    assert released_one == released_many  # same envelopes, same key order
+    assert many.push_many([]) == 0
+
+
+def test_release_batched_groups_by_recv_time_in_key_order():
+    staging = Staging()
+    order = []
+
+    def mk(recv, send, src, seq, tag):
+        return Envelope(recv, send, src, "out", seq, lambda: order.append(tag))
+
+    for env in (
+        mk(10, 2, "b", 0, "b0"),
+        mk(10, 1, "a", 0, "a0"),
+        mk(20, 3, "c", 1, "c1"),
+        mk(10, 2, "b", 1, "b1"),
+        mk(30, 0, "z", 0, "late"),
+    ):
+        staging.push(env)
+    scheduled = []
+    n = staging.release_batched(25, lambda t, cb: scheduled.append((t, cb)))
+    assert n == 4
+    # One callback per *distinct* receive time below the horizon.
+    assert [t for t, _ in scheduled] == [10, 20]
+    for _t, cb in scheduled:
+        cb()
+    assert order == ["a0", "b0", "b1", "c1"]  # key order inside the group
+    assert staging.released == 4
+    assert staging.batches == 2
+    assert len(staging) == 1 and staging.min_recv_time() == 30
+
+
 # -- coordinator ---------------------------------------------------------------
 
 
-def _pipeline_run(n_shards: int, parallel: bool = False):
+def _pipeline_run(n_shards: int, parallel: bool = False, batch: bool = True):
     """A 4-chain x 3-stage pipeline on the raw shard layer; returns the
     per-stage-component delivery log."""
     n_chains, n_stages = 4, 3
     link_ns, compute_ns = 100, 700
     shards = [Shard(i) for i in range(n_shards)]
+    for shard in shards:
+        shard.batch_release = batch
     sim = ShardedSimulation(shards)
     shard_of = {
         (c, s): (c + s) % n_shards for c in range(n_chains) for s in range(n_stages)
@@ -301,6 +434,70 @@ def test_delivery_log_invariant_across_shard_counts():
 
 def test_parallel_driver_matches_cooperative():
     assert _pipeline_run(4, parallel=True) == _pipeline_run(4, parallel=False)
+
+
+def test_pipeline_batched_release_matches_per_envelope():
+    """The batching tentpole's oracle on the pipeline harness:
+    Shard.batch_release toggles between release_batched and the
+    reference release_below; the delivery logs must be identical."""
+    for n_shards in (1, 3):
+        assert _pipeline_run(n_shards, batch=True) == _pipeline_run(n_shards, batch=False)
+
+
+def _chaotic_run(n_shards: int, seed: int, batch: bool):
+    """A message-storm workload with hash-derived (layout-invariant)
+    routing and clustered timestamps, so batched release really forms
+    multi-envelope groups.  Returns the per-component delivery log."""
+    n_comp, n_msgs, hops = 10, 30, 3
+    compute_ns, link_ns = 500, 100
+    shards = [Shard(i) for i in range(n_shards)]
+    for shard in shards:
+        shard.batch_release = batch
+    sim = ShardedSimulation(shards)
+    for a in range(n_shards):
+        for b in range(n_shards):
+            sim.add_link(a, b, compute_ns + link_ns)
+    shard_of = [i % n_shards for i in range(n_comp)]
+    log = {i: [] for i in range(n_comp)}
+    seqs = [0] * n_comp
+
+    def handler(dst, src, seq, t, ttl):
+        me = shard_of[dst]
+        assert shards[me].kernel.now == t
+        log[dst].append((t, src, seq))
+        if ttl:
+            nxt = (dst * 31 + seq * 17 + t + seed) % n_comp
+            q = seqs[dst]
+            seqs[dst] = q + 1
+            send = t + compute_ns
+            env = Envelope(
+                send + link_ns, send, f"c{dst}", "out", q,
+                lambda: handler(nxt, dst, q, send + link_ns, ttl - 1),
+            )
+            (shards[shard_of[nxt]].stage if shard_of[nxt] == me
+             else shards[shard_of[nxt]].post)(env)
+
+    for i in range(n_msgs):
+        dst = (i * 7 + seed) % n_comp
+        t = 1_000 * (i % 5 + 1)  # clustered entry times -> shared recv times
+        shards[shard_of[dst]].stage(
+            Envelope(t, 0, "src", f"m{i}", i,
+                     lambda d=dst, i=i, t=t: handler(d, -1, i, t, hops))
+        )
+    sim.run()
+    assert sum(len(v) for v in log.values()) == n_msgs * (hops + 1)
+    return log
+
+
+@pytest.mark.parametrize("seed", (1, 7, 42))
+def test_batched_release_equivalent_to_per_envelope(seed):
+    """Seeds 1/7/42 (the chaos-campaign set): batched and per-envelope
+    release produce identical per-component delivery sequences, at every
+    shard count, and both match across shard counts."""
+    reference = _chaotic_run(1, seed, batch=True)
+    for n_shards in (1, 2, 4):
+        assert _chaotic_run(n_shards, seed, batch=True) == reference
+        assert _chaotic_run(n_shards, seed, batch=False) == reference
 
 
 def test_true_deadlock_is_reported_by_the_coordinator():
